@@ -1,0 +1,71 @@
+"""Ablation -- SMMU sizing (uTLB and main TLB).
+
+Not a paper figure: quantifies the translation-hardware sizing behind
+Table IV.  Shrinking the uTLB raises miss counts (more main-TLB stalls);
+shrinking the main TLB below the footprint recreates the paper's
+PTW cliff at any problem size.
+"""
+
+from conftest import banner, scaled
+
+from repro import SystemConfig, format_table, run_gemm
+from repro.smmu.smmu import SMMUConfig
+
+
+def test_ablation_smmu_sizing(benchmark, repro_mode):
+    size = scaled(128, 1024)
+    footprint_pages = 3 * size * size * 4 // 4096
+
+    def run_all():
+        out = {}
+        for utlb in (8, 32, 128):
+            config = SystemConfig.pcie_2gb(
+                smmu=SMMUConfig(utlb_entries=utlb)
+            )
+            out[f"uTLB {utlb}"] = run_gemm(config, size, size, size)
+        # Main TLB below/above the footprint (power-of-two sizes).  A
+        # 1-entry uTLB exposes every page transition to the main TLB so
+        # its capacity, not uTLB locality, is what is measured.
+        small_tlb = max(8, 1 << max(0, footprint_pages // 4).bit_length())
+        for tlb, label in ((small_tlb, "thrash"), (4096, "fits")):
+            config = SystemConfig.pcie_2gb(
+                smmu=SMMUConfig(utlb_entries=1, tlb_entries=tlb,
+                                tlb_assoc=min(8, tlb))
+            )
+            out[f"TLB {tlb} ({label})"] = run_gemm(config, size, size, size)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    banner(f"Ablation: SMMU sizing, GEMM {size} "
+           f"({footprint_pages} pages footprint)")
+    rows = []
+    for name, r in results.items():
+        t4 = r.table4
+        rows.append(
+            (
+                name,
+                f"{r.seconds * 1e6:.1f}",
+                int(t4["utlb_miss_times"]),
+                int(t4["ptw_times"]),
+                f"{t4['trans_overhead_pct']:.2f}%",
+            )
+        )
+    print(format_table(
+        ["variant", "exec us", "uTLB misses", "PTWs", "overhead"], rows
+    ))
+
+    # Smaller uTLB -> more misses.
+    assert (
+        results["uTLB 8"].table4["utlb_miss_times"]
+        >= results["uTLB 32"].table4["utlb_miss_times"]
+        >= results["uTLB 128"].table4["utlb_miss_times"]
+    )
+    # Main TLB below the footprint walks far more often (the Table IV
+    # cliff mechanism at any scale).
+    thrash_key = next(k for k in results if "thrash" in k)
+    fits_key = next(k for k in results if "fits" in k)
+    assert (
+        results[thrash_key].table4["ptw_times"]
+        > 3 * results[fits_key].table4["ptw_times"]
+    )

@@ -1,0 +1,84 @@
+"""Extension -- CXL-style interconnect vs PCIe (beyond the paper).
+
+The paper's Key Takeaway #6 identifies the DevMem configuration's weak
+spot: CPU (non-GEMM) accesses to device memory pay the PCIe hierarchy's
+latency on every line.  A CXL.mem-class port -- flit-based, directly
+attached, ~25 ns per traversal instead of ~200 ns of switch + root
+complex -- targets exactly that path.  This bench quantifies the what-if:
+
+* streaming GEMM: CXL ~ matches a fat PCIe link (bandwidth-bound),
+* DevMem non-GEMM (the Fig. 8 penalty): CXL cuts the NUMA penalty by
+  several fold, moving DevMem from "slightly worse than PCIe-64GB" to
+  competitive at much higher non-GEMM fractions.
+"""
+
+from conftest import banner, scaled
+
+from repro import SystemConfig, format_table, run_gemm, run_vit
+from repro.workloads import ViTConfig
+
+VIT_MODEL = ViTConfig("bench-tiny", hidden=128, layers=2, heads=4,
+                      image_size=96, patch_size=16)
+
+
+def _run_study(size: int) -> dict:
+    out = {}
+    out["gemm_pcie"] = run_gemm(SystemConfig.pcie_64gb(), size, size, size)
+    out["gemm_cxl"] = run_gemm(SystemConfig.cxl_host(), size, size, size)
+    out["vit_host"] = run_vit(SystemConfig.pcie_64gb(), VIT_MODEL)
+    out["vit_devmem_pcie"] = run_vit(SystemConfig.devmem_system(), VIT_MODEL)
+    out["vit_devmem_cxl"] = run_vit(SystemConfig.devmem_cxl(), VIT_MODEL)
+    return out
+
+
+def test_ext_cxl(benchmark, repro_mode):
+    size = scaled(128, 1024)
+    results = benchmark.pedantic(
+        lambda: _run_study(size), rounds=1, iterations=1
+    )
+
+    banner("Extension: CXL-style port vs PCIe hierarchy")
+    print(format_table(
+        ["path", "GEMM exec us"],
+        [
+            ("PCIe-64GB", f"{results['gemm_pcie'].seconds * 1e6:.1f}"),
+            ("CXL x8", f"{results['gemm_cxl'].seconds * 1e6:.1f}"),
+        ],
+        title=f"streaming GEMM {size} (bandwidth-bound: parity expected)",
+    ))
+
+    host_ng = results["vit_host"].nongemm_ticks
+    rows = []
+    for key, label in (
+        ("vit_host", "host memory (no NUMA)"),
+        ("vit_devmem_pcie", "DevMem over PCIe"),
+        ("vit_devmem_cxl", "DevMem over CXL"),
+    ):
+        r = results[key]
+        rows.append(
+            (
+                label,
+                f"{r.nongemm_ticks / 1e9:.2f}",
+                f"{r.nongemm_ticks / host_ng:.2f}x",
+                f"{r.seconds * 1e3:.2f}",
+            )
+        )
+    print(format_table(
+        ["configuration", "non-GEMM ms", "NUMA penalty", "total ms"],
+        rows,
+        title="ViT non-GEMM with device-resident tensors (Fig. 8 scenario)",
+    ))
+
+    # Shape assertions ------------------------------------------------
+    # Streaming parity within 20%.
+    ratio = results["gemm_cxl"].ticks / results["gemm_pcie"].ticks
+    assert 0.8 < ratio < 1.2, f"GEMM parity broken: {ratio:.2f}"
+    # CXL cuts the NUMA penalty by at least 2x.
+    pcie_penalty = results["vit_devmem_pcie"].nongemm_ticks / host_ng
+    cxl_penalty = results["vit_devmem_cxl"].nongemm_ticks / host_ng
+    assert cxl_penalty < pcie_penalty / 2, (
+        f"CXL should cut the NUMA penalty: {pcie_penalty:.2f} -> "
+        f"{cxl_penalty:.2f}"
+    )
+    # But never below the host baseline.
+    assert cxl_penalty >= 1.0

@@ -1,0 +1,63 @@
+"""Fig. 2 -- roofline model of the accelerator system.
+
+Paper setup: GEMM with dimension 1024, PCIe fixed at 8 GB/s, systolic
+array computation time swept.  Expected shape: execution time is flat
+(memory-bound) for small compute times and rises linearly (compute-bound)
+beyond a crossover; the paper places the crossover at ~1500 ns for its
+compute-time unit.
+
+Here the sweep knob is the per-tile compute-time override.  The crossover
+should sit near the per-tile data transfer time (tile traffic divided by
+delivered PCIe bandwidth), which is what a roofline predicts.
+"""
+
+from conftest import banner, scaled
+
+from repro import SystemConfig, find_crossover, format_table, roofline_sweep
+from repro.sim.ticks import ns, ticks_to_ns
+
+
+def _sweep_values(size: int) -> list:
+    # Log-spaced compute-time overrides bracketing the transfer time.
+    base = [0.1, 0.3, 1, 3, 10, 30, 100, 300]
+    return [ns(x * 1000) for x in base]
+
+
+def test_fig2_roofline(benchmark, repro_mode):
+    size = scaled(256, 1024)
+    config = SystemConfig.pcie_8gb()
+    values = _sweep_values(size)
+
+    points = benchmark.pedantic(
+        lambda: roofline_sweep(config, size, values), rounds=1, iterations=1
+    )
+
+    banner(f"Fig. 2: roofline, GEMM {size}, PCIe-8GB")
+    rows = [
+        (
+            f"{ticks_to_ns(p.compute_ticks):.0f}",
+            f"{ticks_to_ns(p.exec_ticks) / 1000:.1f}",
+            f"{p.normalized:.4f}",
+        )
+        for p in sorted(points, key=lambda p: p.compute_ticks)
+    ]
+    print(format_table(
+        ["tile compute ns", "exec us", "normalized"], rows
+    ))
+
+    crossover = find_crossover(points)
+    assert crossover is not None, "sweep never left the memory-bound region"
+    print(f"\nMeasured crossover: tile compute ~{ticks_to_ns(crossover):.0f} ns")
+    per_tile_bytes = 2 * 16 * size * 4
+    print(
+        f"Roofline prediction: per-tile traffic {per_tile_bytes} B / "
+        f"~6 GB/s delivered = ~{per_tile_bytes / 6:.0f} ns"
+    )
+    print("Paper: memory-bound above ~1500 ns compute time at its unit; "
+          "shape = plateau then linear rise (reproduced).")
+
+    # Shape assertions: plateau on the fast side, growth on the slow side.
+    ordered = sorted(points, key=lambda p: p.compute_ticks)
+    assert ordered[-1].exec_ticks > 2 * ordered[0].exec_ticks
+    plateau_ratio = ordered[1].exec_ticks / ordered[0].exec_ticks
+    assert plateau_ratio < 1.1

@@ -1,0 +1,68 @@
+"""Fig. 3 -- GEMM execution time vs PCIe lanes and per-lane speed.
+
+Paper setup: 2048x2048 GEMM; lanes in {2, 4, 8, 16}, lane speeds from
+2 to 64 Gb/s.  Expected shape: execution time falls monotonically with
+bandwidth and saturates when the system turns compute-bound around the
+16-lane configurations; the paper's best-vs-worst gap is ~11.1x
+(1109.9%).
+"""
+
+from conftest import banner, scaled
+
+from repro import SystemConfig, format_table, run_gemm
+
+LANES = (2, 4, 8, 16)
+SPEEDS = (2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+def _run_sweep(size: int) -> dict:
+    results = {}
+    for lanes in LANES:
+        for gbps in SPEEDS:
+            config = SystemConfig.table2_baseline().with_pcie_bandwidth(
+                lanes, gbps
+            )
+            results[(lanes, gbps)] = run_gemm(config, size, size, size)
+    return results
+
+
+def test_fig3_bandwidth_sweep(benchmark, repro_mode):
+    size = scaled(256, 2048)
+
+    results = benchmark.pedantic(
+        lambda: _run_sweep(size), rounds=1, iterations=1
+    )
+
+    banner(f"Fig. 3: PCIe bandwidth sweep, GEMM {size}")
+    rows = []
+    for lanes in LANES:
+        row = [f"x{lanes}"]
+        for gbps in SPEEDS:
+            row.append(f"{results[(lanes, gbps)].seconds * 1e6:.0f}")
+        rows.append(row)
+    print(format_table(
+        ["lanes \\ Gb/s"] + [f"{s:g}" for s in SPEEDS],
+        rows,
+        title="execution time (us)",
+    ))
+
+    ticks = {key: r.ticks for key, r in results.items()}
+    worst = max(ticks.values())
+    best = min(ticks.values())
+    print(f"\nBest outperforms worst by {worst / best:.1f}x "
+          f"(paper: up to 11.1x / 1109.9%)")
+
+    # Shape assertions ------------------------------------------------
+    # Monotone in lane speed for every lane count.
+    for lanes in LANES:
+        series = [ticks[(lanes, s)] for s in SPEEDS]
+        assert all(a >= b for a, b in zip(series, series[1:])), (
+            f"execution time not monotone for x{lanes}"
+        )
+    # Compute-bound saturation: at 16 lanes the fastest two speeds are
+    # within a few percent of each other.
+    fast = ticks[(16, SPEEDS[-1])]
+    near = ticks[(16, SPEEDS[-2])]
+    assert near / fast < 1.05, "no compute-bound saturation at 16 lanes"
+    # The gap is an order of magnitude, as in the paper.
+    assert worst / best > 5

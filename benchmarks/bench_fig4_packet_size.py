@@ -1,0 +1,83 @@
+"""Fig. 4 -- execution time vs request packet size, per PCIe bandwidth.
+
+Paper setup: PCIe links at 4/8/16/32/64 GB/s; packet sizes 64 B..4096 B.
+Expected shape: a convex curve with the optimum around 256 B; the paper
+quantifies 64 B at +12% and 4096 B at +36% relative to the optimum.
+
+The packet-size dependence is visible across *all* link speeds in the
+paper's figure, so this experiment runs the wide-ingest systolic
+configuration (the link, not the array, must be the bottleneck).
+"""
+
+from conftest import banner, scaled
+
+from repro import SystemConfig, format_table, run_gemm
+from repro.accel.systolic import SystolicParams
+
+#: (label GB/s) -> (lanes, lane Gb/s); raw lane rate x lanes = 8 x label.
+LINKS = {
+    4: (8, 4.0),
+    8: (8, 8.0),
+    16: (8, 16.0),
+    32: (8, 32.0),
+    64: (8, 64.0),
+}
+PACKETS = (64, 128, 256, 512, 1024, 2048, 4096)
+WIDE_SA = SystolicParams(ingest_elems=16)
+
+
+def _run_sweep(size: int) -> dict:
+    results = {}
+    for label, (lanes, gbps) in LINKS.items():
+        base = SystemConfig.table2_baseline(
+            systolic=WIDE_SA
+        ).with_pcie_bandwidth(lanes, gbps)
+        for packet in PACKETS:
+            config = base.with_packet_size(packet)
+            results[(label, packet)] = run_gemm(config, size, size, size)
+    return results
+
+
+def test_fig4_packet_size_sweep(benchmark, repro_mode):
+    size = scaled(256, 2048)
+
+    results = benchmark.pedantic(
+        lambda: _run_sweep(size), rounds=1, iterations=1
+    )
+
+    banner(f"Fig. 4: packet-size sweep, GEMM {size}")
+    rows = []
+    for label in LINKS:
+        row = [f"{label} GB/s"]
+        for packet in PACKETS:
+            row.append(f"{results[(label, packet)].seconds * 1e6:.0f}")
+        rows.append(row)
+    print(format_table(
+        ["link \\ packet B"] + [str(p) for p in PACKETS],
+        rows,
+        title="execution time (us)",
+    ))
+
+    # Overheads relative to each link's optimum.
+    print("\nOverhead vs optimum (paper: 64 B -> +12%, 4096 B -> +36%):")
+    convex_links = 0
+    for label in LINKS:
+        series = {p: results[(label, p)].ticks for p in PACKETS}
+        best_packet = min(series, key=series.get)
+        small = 100 * (series[64] / series[best_packet] - 1)
+        large = 100 * (series[4096] / series[best_packet] - 1)
+        print(
+            f"  {label:3d} GB/s: optimum {best_packet:4d} B, "
+            f"64 B {small:+.1f}%, 4096 B {large:+.1f}%"
+        )
+        if series[64] > series[best_packet] < series[4096]:
+            convex_links += 1
+
+    # Shape assertions: convexity (both extremes lose) on most links and
+    # an interior optimum on the paper's headline 8 GB/s link.  Our
+    # low-speed optimum sits a few doublings right of the paper's 256 B
+    # (EXPERIMENTS.md); the fastest link matches 256 B exactly.
+    assert convex_links >= 3, "packet-size curve not convex"
+    series8 = {p: results[(8, p)].ticks for p in PACKETS}
+    best8 = min(series8, key=series8.get)
+    assert 128 <= best8 <= 2048, f"8 GB/s optimum at {best8} B"

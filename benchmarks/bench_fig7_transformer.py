@@ -1,0 +1,74 @@
+"""Fig. 7 -- ViT inference across memory locations and interconnects.
+
+Paper setup: ViT-Base/Large/Huge on the four Section V-C systems
+(PCIe-2GB, PCIe-8GB, PCIe-64GB, DevMem).  Expected shape: PCIe-64GB is
+2.5x-3.4x faster than PCIe-2GB, and DevMem lands slightly *below*
+PCIe-64GB despite its superior GEMM performance, because non-GEMM
+operators pay the NUMA penalty.
+
+Reduced mode scales hidden dimensions by 1/4 and coarsens the DMA event
+granularity; REPRO_FULL=1 runs all three models at full dimensions.
+"""
+
+from conftest import FULL, banner
+
+from repro import SystemConfig, format_table, run_vit
+
+MODELS_REDUCED = ("base", "large")
+MODELS_FULL = ("base", "large", "huge")
+DIM_SCALE = 1.0 if FULL else 0.25
+SEGMENT = 4096 if FULL else 16384
+
+
+def _run_matrix(models) -> dict:
+    systems = SystemConfig.paper_systems()
+    results = {}
+    for model in models:
+        for name, config in systems.items():
+            results[(model, name)] = run_vit(
+                config.with_(dma_segment_bytes=SEGMENT),
+                model,
+                dim_scale=DIM_SCALE,
+            )
+    return results
+
+
+def test_fig7_transformer(benchmark, repro_mode):
+    models = MODELS_FULL if FULL else MODELS_REDUCED
+
+    results = benchmark.pedantic(
+        lambda: _run_matrix(models), rounds=1, iterations=1
+    )
+
+    banner(f"Fig. 7: ViT inference, dim scale {DIM_SCALE:g}")
+    system_names = ("PCIe-2GB", "PCIe-8GB", "PCIe-64GB", "DevMem")
+    rows = []
+    for model in models:
+        base_ticks = results[(model, "PCIe-2GB")].total_ticks
+        row = [model]
+        for name in system_names:
+            r = results[(model, name)]
+            row.append(f"{r.seconds * 1e3:.1f} ({base_ticks / r.total_ticks:.2f}x)")
+        rows.append(row)
+    print(format_table(
+        ["model"] + list(system_names),
+        rows,
+        title="inference time ms (speedup vs PCIe-2GB); "
+              "paper: PCIe-64GB 2.5-3.4x, DevMem slightly below PCIe-64GB",
+    ))
+
+    # Shape assertions ------------------------------------------------
+    for model in models:
+        t2 = results[(model, "PCIe-2GB")].total_ticks
+        t8 = results[(model, "PCIe-8GB")].total_ticks
+        t64 = results[(model, "PCIe-64GB")].total_ticks
+        tdev = results[(model, "DevMem")].total_ticks
+        assert t2 > t8 > t64, f"PCIe ordering violated for {model}"
+        speedup = t2 / t64
+        assert 1.5 < speedup < 6.0, (
+            f"{model}: PCIe-64GB speedup {speedup:.2f} out of band"
+        )
+        # DevMem loses to the fast PCIe host system on the full model.
+        assert tdev > t64, f"{model}: DevMem should trail PCIe-64GB"
+        # ... but beats the slow PCIe system (its GEMM advantage).
+        assert tdev < t2, f"{model}: DevMem should beat PCIe-2GB"

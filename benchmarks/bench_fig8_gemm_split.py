@@ -1,0 +1,65 @@
+"""Fig. 8 -- GEMM vs non-GEMM time across system configurations.
+
+Paper setup: the ViT workloads of Fig. 7 profiled per operator class.
+Expected shape: DevMem delivers the best GEMM times (device-side HBM2
+feeding the array directly) but the *worst* non-GEMM times -- up to
+~500% over the PCIe-host systems -- because the CPU's uncached accesses
+to device memory cross the PCIe hierarchy line by line.
+"""
+
+from conftest import FULL, banner
+
+from repro import SystemConfig, format_table, run_vit
+
+MODEL = "large"
+DIM_SCALE = 1.0 if FULL else 0.25
+SEGMENT = 4096 if FULL else 16384
+
+
+def _run_split() -> dict:
+    systems = SystemConfig.paper_systems()
+    return {
+        name: run_vit(
+            config.with_(dma_segment_bytes=SEGMENT), MODEL,
+            dim_scale=DIM_SCALE,
+        )
+        for name, config in systems.items()
+    }
+
+
+def test_fig8_gemm_split(benchmark, repro_mode):
+    results = benchmark.pedantic(_run_split, rounds=1, iterations=1)
+
+    banner(f"Fig. 8: GEMM vs non-GEMM split, ViT-{MODEL}, "
+           f"dim scale {DIM_SCALE:g}")
+    host_ng = results["PCIe-8GB"].nongemm_ticks
+    rows = []
+    for name, r in results.items():
+        rows.append(
+            (
+                name,
+                f"{r.gemm_ticks / 1e9:.2f}",
+                f"{r.nongemm_ticks / 1e9:.2f}",
+                f"{100 * r.nongemm_fraction:.1f}%",
+                f"{100 * (r.nongemm_ticks / host_ng - 1):+.0f}%",
+            )
+        )
+    print(format_table(
+        ["system", "GEMM ms", "non-GEMM ms", "non-GEMM share",
+         "non-GEMM vs PCIe-8GB"],
+        rows,
+        title="paper: DevMem best on GEMM, up to +500% on non-GEMM",
+    ))
+
+    # Shape assertions ------------------------------------------------
+    gemm = {name: r.gemm_ticks for name, r in results.items()}
+    nongemm = {name: r.nongemm_ticks for name, r in results.items()}
+    assert gemm["DevMem"] == min(gemm.values()), "DevMem must win GEMM"
+    assert nongemm["DevMem"] == max(nongemm.values()), (
+        "DevMem must lose non-GEMM"
+    )
+    penalty = nongemm["DevMem"] / nongemm["PCIe-8GB"]
+    assert 2.0 < penalty < 12.0, f"non-GEMM penalty {penalty:.1f}x out of band"
+    # Host-side non-GEMM time is interconnect-independent.
+    host_values = [nongemm[n] for n in ("PCIe-2GB", "PCIe-8GB", "PCIe-64GB")]
+    assert max(host_values) / min(host_values) < 1.05

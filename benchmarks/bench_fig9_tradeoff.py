@@ -1,0 +1,83 @@
+"""Fig. 9 -- overall time vs non-GEMM fraction; DevMem thresholds.
+
+Paper setup: the Section V-D.2 analytical model fed with measured
+per-class performance; the non-GEMM share (of time on the PCIe system)
+is swept from 0 to 100%.  Expected shape: DevMem wins below a non-GEMM
+threshold, and the threshold falls as PCIe bandwidth rises -- the paper
+reports 34.31% (2 GB/s), 10.16% (8 GB/s) and 4.27% (64 GB/s).
+"""
+
+from conftest import FULL, banner
+
+from repro import (
+    SystemConfig,
+    TradeoffModel,
+    format_table,
+    nongemm_time_threshold,
+    relative_time_curve,
+    run_vit,
+)
+
+MODEL = "large"
+DIM_SCALE = 1.0 if FULL else 0.25
+SEGMENT = 4096 if FULL else 16384
+PAPER_THRESHOLDS = {"PCIe-2GB": 34.31, "PCIe-8GB": 10.16, "PCIe-64GB": 4.27}
+
+
+def _calibrate() -> dict:
+    systems = SystemConfig.paper_systems()
+    models = {}
+    for name, config in systems.items():
+        result = run_vit(
+            config.with_(dma_segment_bytes=SEGMENT), MODEL,
+            dim_scale=DIM_SCALE,
+        )
+        models[name] = TradeoffModel.from_measured(
+            name, result.gemm_ticks, result.nongemm_ticks
+        )
+    return models
+
+
+def test_fig9_tradeoff(benchmark, repro_mode):
+    models = benchmark.pedantic(_calibrate, rounds=1, iterations=1)
+
+    banner(f"Fig. 9: GEMM/non-GEMM trade-off, calibrated on ViT-{MODEL}")
+    devmem = models["DevMem"]
+    pcie_names = ("PCIe-2GB", "PCIe-8GB", "PCIe-64GB")
+
+    # DevMem time normalized to each PCIe system across the sweep.
+    fractions = [i / 10 for i in range(11)]
+    rows = []
+    for w in fractions:
+        row = [f"{100 * w:.0f}%"]
+        for name in pcie_names:
+            curve = dict(relative_time_curve(devmem, models[name], steps=11))
+            row.append(f"{curve[w]:.3f}")
+        rows.append(row)
+    print(format_table(
+        ["non-GEMM share"] + [f"DevMem vs {n}" for n in pcie_names],
+        rows,
+        title="DevMem time / PCIe time (<1 means DevMem wins)",
+    ))
+
+    print("\nThresholds (non-GEMM share below which DevMem wins):")
+    thresholds = {}
+    for name in pcie_names:
+        threshold = nongemm_time_threshold(devmem, models[name])
+        thresholds[name] = threshold
+        shown = "never" if threshold is None else f"{100 * threshold:.2f}%"
+        print(f"  vs {name:10s}: {shown}   (paper: "
+              f"{PAPER_THRESHOLDS[name]:.2f}%)")
+
+    # Shape assertions ------------------------------------------------
+    # DevMem wins the all-GEMM corner against the slow link and loses
+    # the all-non-GEMM corner everywhere.
+    assert dict(relative_time_curve(devmem, models["PCIe-2GB"]))[0.0] < 1
+    for name in pcie_names:
+        assert dict(relative_time_curve(devmem, models[name]))[1.0] > 1
+    # Thresholds exist vs every PCIe system and fall with bandwidth.
+    ordered = [thresholds[n] for n in pcie_names]
+    assert all(t is not None for t in ordered)
+    assert ordered[0] > ordered[1] > ordered[2], (
+        f"thresholds should fall with PCIe bandwidth: {ordered}"
+    )

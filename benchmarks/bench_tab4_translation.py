@@ -1,0 +1,98 @@
+"""Table IV -- address-translation metrics vs matrix size.
+
+Paper setup: GEMM sizes 64..2048 under the DC access method with the
+SMMU in the path.  The paper's row set: memory footprint (pages),
+translation count, mean translation time, PTW count, mean PTW time,
+uTLB lookups, uTLB misses, and translation overhead %.
+
+Exact identities reproduced by construction:
+
+* footprint pages = 3 * N^2 * 4 B / 4 KiB  (12 pages at N=64, 12288 at
+  N=2048 -- matches the paper exactly),
+* uTLB lookups = streamed lines = N^3/128 reads + N^2/16 writebacks.
+
+Shapes reproduced by mechanism: the overhead percentage is U-shaped
+(6.02% at 64 -> 1.00% at 1024 -> 6.49% at 2048 in the paper) because
+small problems amortize translation poorly while the 2048 footprint
+(12288 pages) overflows the 4096-entry main TLB and PTW counts explode
+(paper: 7.7k at 1024 -> 479k at 2048).
+"""
+
+from conftest import FULL, banner
+
+from repro import SystemConfig, format_table, run_gemm
+
+SIZES_REDUCED = (64, 128, 256, 512)
+SIZES_FULL = (64, 128, 256, 512, 1024, 2048)
+
+#: Paper values for reference printing.
+PAPER = {
+    "memory_footprint_pages": {64: 12, 128: 48, 256: 192, 512: 768,
+                               1024: 3072, 2048: 12288},
+    "trans_overhead_pct": {64: 6.02, 128: 1.87, 256: 1.59, 512: 1.30,
+                           1024: 1.00, 2048: 6.49},
+    "ptw_times": {64: 15, 128: 54, 256: 227, 512: 1034,
+                  1024: 7675, 2048: 479244},
+}
+
+
+def _run_sizes(sizes) -> dict:
+    results = {}
+    for size in sizes:
+        results[size] = run_gemm(
+            SystemConfig.table2_baseline(), size, size, size
+        )
+    return results
+
+
+def test_table4_translation(benchmark, repro_mode):
+    sizes = SIZES_FULL if FULL else SIZES_REDUCED
+
+    results = benchmark.pedantic(
+        lambda: _run_sizes(sizes), rounds=1, iterations=1
+    )
+
+    banner("Table IV: address translation vs matrix size")
+    metrics = [
+        "memory_footprint_pages",
+        "translation_times",
+        "trans_mean_cycles",
+        "ptw_times",
+        "ptw_mean_cycles",
+        "utlb_lookup_times",
+        "utlb_miss_times",
+        "trans_overhead_pct",
+    ]
+    rows = []
+    for metric in metrics:
+        row = [metric]
+        for size in sizes:
+            value = results[size].table4[metric]
+            row.append(f"{value:.2f}" if isinstance(value, float) else str(value))
+        rows.append(row)
+    print(format_table(["metric"] + [str(s) for s in sizes], rows))
+
+    print("\nPaper reference rows:")
+    for metric, values in PAPER.items():
+        shown = {s: v for s, v in values.items() if s in sizes}
+        print(f"  {metric}: {shown}")
+
+    # Exact identities -------------------------------------------------
+    for size in sizes:
+        table4 = results[size].table4
+        expected_pages = 3 * size * size * 4 // 4096
+        assert table4["memory_footprint_pages"] == expected_pages, (
+            f"footprint mismatch at {size}"
+        )
+        expected_lookups = size**3 // 128 + size * size * 4 // 64
+        assert table4["utlb_lookup_times"] == expected_lookups
+
+    # Shape: translation overhead is elevated at the smallest size
+    # relative to the mid sizes (left arm of the paper's U).
+    overheads = {s: results[s].table4["trans_overhead_pct"] for s in sizes}
+    assert overheads[64] > overheads[256]
+    if FULL:
+        # Right arm: the 2048 footprint bursts the main TLB.
+        assert overheads[2048] > overheads[1024]
+        ptw = {s: results[s].table4["ptw_times"] for s in sizes}
+        assert ptw[2048] > 20 * ptw[1024]

@@ -1,0 +1,38 @@
+"""Shared benchmark configuration.
+
+Every bench reproduces one table or figure of the paper.  Problem sizes
+default to reduced values so the whole harness finishes in minutes; set
+``REPRO_FULL=1`` for paper-scale runs (2048x2048 matrices, full ViT
+dimensions).  Reduced runs scale the LLC with the working set where the
+experiment depends on capacity ratios (see EXPERIMENTS.md).
+
+Each bench prints its table next to the paper's reference values; the
+pytest-benchmark timer wraps the headline configuration so regression
+tracking covers the simulator itself.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Paper-scale toggle.
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def scaled(reduced, full):
+    """Pick the problem size for the current mode."""
+    return full if FULL else reduced
+
+
+@pytest.fixture(scope="session")
+def repro_mode() -> str:
+    return "paper-scale" if FULL else "reduced"
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title, f"[{'FULL' if FULL else 'reduced'} scale]")
+    print("=" * 72)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Interconnect exploration: PCIe bandwidth and packet-size effects.
+
+A compact version of the paper's Fig. 3 and Fig. 4 studies:
+
+1. sweep the number of lanes and per-lane speed and watch GEMM execution
+   time fall until the systolic array becomes the bottleneck;
+2. sweep the request packet size at a fixed link and observe the convex
+   curve (small packets pay header overhead, large packets stall the
+   store-and-forward hierarchy).
+
+Run:  python examples/interconnect_exploration.py
+"""
+
+from repro import SystemConfig, format_table, run_gemm
+
+SIZE = 128
+
+
+def bandwidth_sweep() -> None:
+    print("=" * 64)
+    print(f"PCIe bandwidth sweep ({SIZE}x{SIZE} GEMM, Fig. 3 style)")
+    print("=" * 64)
+    rows = []
+    results = {}
+    for lanes in (2, 4, 8, 16):
+        for gbps in (2.0, 8.0, 32.0):
+            config = SystemConfig.table2_baseline().with_pcie_bandwidth(
+                lanes, gbps
+            )
+            result = run_gemm(config, SIZE, SIZE, SIZE)
+            results[(lanes, gbps)] = result.ticks
+            rows.append(
+                (
+                    f"x{lanes}",
+                    f"{gbps:g} Gb/s",
+                    f"{config.pcie.effective_bytes_per_sec / 1e9:.1f}",
+                    f"{result.seconds * 1e6:.1f}",
+                    f"{result.delivered_bytes_per_sec / 1e9:.2f}",
+                )
+            )
+    print(
+        format_table(
+            ["lanes", "lane rate", "link GB/s", "exec us", "delivered GB/s"],
+            rows,
+        )
+    )
+    worst = max(results.values())
+    best = min(results.values())
+    print(f"\nBest configuration outperforms worst by {worst / best:.1f}x")
+    print()
+
+
+def packet_size_sweep() -> None:
+    print("=" * 64)
+    print(f"Packet-size sweep ({SIZE}x{SIZE} GEMM, Fig. 4 style)")
+    print("=" * 64)
+    base = SystemConfig.pcie_8gb()
+    rows = []
+    times = {}
+    for packet in (64, 128, 256, 512, 1024, 2048, 4096):
+        config = base.with_packet_size(packet)
+        result = run_gemm(config, SIZE, SIZE, SIZE)
+        times[packet] = result.ticks
+        rows.append((packet, f"{result.seconds * 1e6:.1f}"))
+    best_packet = min(times, key=times.get)
+    print(format_table(["packet B", "exec us"], rows))
+    print(f"\nOptimal packet size: {best_packet} B")
+    for packet in (64, 4096):
+        overhead = 100.0 * (times[packet] / times[best_packet] - 1)
+        print(f"  {packet:5d} B costs {overhead:+.1f}% vs optimum")
+
+
+if __name__ == "__main__":
+    bandwidth_sweep()
+    packet_size_sweep()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Transformer inference across the paper's four system configurations.
+
+Runs ViT inference (reduced hidden dimension for speed; pass --full for
+paper-scale) on PCIe-2GB, PCIe-8GB, PCIe-64GB and DevMem systems, then:
+
+* compares total inference time (Fig. 7 style),
+* splits time into GEMM and non-GEMM (Fig. 8 style),
+* calibrates the analytical trade-off model and reports the GEMM-fraction
+  thresholds where DevMem starts to pay off (Fig. 9 style).
+
+Run:  python examples/transformer_inference.py [--full]
+"""
+
+import sys
+
+from repro import (
+    SystemConfig,
+    TradeoffModel,
+    format_table,
+    nongemm_time_threshold,
+    run_vit,
+)
+
+MODEL = "base"
+
+
+def main(dim_scale: float) -> None:
+    systems = SystemConfig.paper_systems()
+    results = {}
+    print(f"Running ViT-{MODEL} (dim scale {dim_scale:g}) on 4 systems...")
+    for name, config in systems.items():
+        results[name] = run_vit(config, MODEL, dim_scale=dim_scale)
+        print(f"  {name:10s} done: {results[name].seconds * 1e3:.2f} ms")
+    print()
+
+    baseline = results["PCIe-2GB"].total_ticks
+    rows = [
+        (
+            name,
+            f"{r.seconds * 1e3:.2f}",
+            f"{baseline / r.total_ticks:.2f}x",
+            f"{r.gemm_ticks / 1e9:.2f}",
+            f"{r.nongemm_ticks / 1e9:.2f}",
+            f"{100 * r.nongemm_fraction:.1f}%",
+        )
+        for name, r in results.items()
+    ]
+    print(
+        format_table(
+            ["system", "total ms", "speedup", "GEMM ms", "non-GEMM ms",
+             "non-GEMM %"],
+            rows,
+            title="ViT inference (Fig. 7 / Fig. 8 style)",
+        )
+    )
+    print()
+
+    devmem_model = TradeoffModel.from_measured(
+        "DevMem",
+        results["DevMem"].gemm_ticks,
+        results["DevMem"].nongemm_ticks,
+    )
+    print("DevMem-vs-PCIe thresholds (Fig. 9 style; paper: 34.31% / "
+          "10.16% / 4.27%):")
+    for name in ("PCIe-2GB", "PCIe-8GB", "PCIe-64GB"):
+        pcie_model = TradeoffModel.from_measured(
+            name, results[name].gemm_ticks, results[name].nongemm_ticks
+        )
+        threshold = nongemm_time_threshold(devmem_model, pcie_model)
+        if threshold is None:
+            print(f"  vs {name:10s}: PCIe wins at every workload mix")
+        else:
+            print(
+                f"  vs {name:10s}: DevMem wins while non-GEMM share "
+                f"< {100 * threshold:.2f}%"
+            )
+
+
+if __name__ == "__main__":
+    main(1.0 if "--full" in sys.argv else 0.25)

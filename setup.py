@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` on this machine lacks ``wheel``,
+so the PEP 660 editable build cannot run; this shim enables the legacy
+``setup.py develop`` path (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

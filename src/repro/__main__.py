@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``gemm``     -- run one GEMM on a named system configuration,
+* ``vit``      -- run ViT inference and print the GEMM/non-GEMM split,
+* ``sweep``    -- sweep PCIe bandwidth or packet size for a GEMM,
+* ``systems``  -- list the named system configurations.
+
+Examples::
+
+    python -m repro gemm --system PCIe-8GB --size 256 --verify
+    python -m repro vit --system DevMem --model base --dim-scale 0.25
+    python -m repro sweep --kind packet --size 128
+    python -m repro systems
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import (
+    SystemConfig,
+    format_table,
+    run_gemm,
+    run_vit,
+)
+from repro.workloads import GemmWorkload
+
+
+def _system_by_name(name: str) -> SystemConfig:
+    systems = SystemConfig.paper_systems()
+    systems["Table2"] = SystemConfig.table2_baseline()
+    for key, config in systems.items():
+        if key.lower() == name.lower():
+            return config
+    raise SystemExit(
+        f"unknown system {name!r}; choose from {sorted(systems)}"
+    )
+
+
+def cmd_systems(_args) -> int:
+    rows = []
+    systems = SystemConfig.paper_systems()
+    systems["Table2"] = SystemConfig.table2_baseline()
+    for name, config in systems.items():
+        mem = config.devmem if config.uses_device_memory else config.host_mem
+        rows.append(
+            (
+                name,
+                config.access_mode.value,
+                config.pcie.describe(),
+                mem.describe() if mem is not None else "simple",
+            )
+        )
+    print(format_table(["name", "mode", "PCIe", "memory"], rows))
+    return 0
+
+
+def cmd_gemm(args) -> int:
+    config = _system_by_name(args.system)
+    if args.packet_size:
+        config = config.with_packet_size(args.packet_size)
+    result = run_gemm(
+        config, args.size, args.size, args.size,
+        functional=args.verify, seed=args.seed,
+    )
+    print(f"system:     {config.name}")
+    print(f"GEMM:       {args.size}x{args.size}x{args.size}")
+    print(f"exec time:  {result.seconds * 1e6:.1f} us")
+    print(f"traffic:    {result.traffic_bytes / 1e6:.2f} MB")
+    print(f"delivered:  {result.delivered_bytes_per_sec / 1e9:.2f} GB/s")
+    if args.verify:
+        workload = GemmWorkload(args.size, args.size, args.size,
+                                seed=args.seed)
+        a, b = workload.generate()
+        np.testing.assert_array_equal(result.c_matrix,
+                                      workload.reference(a, b))
+        print("verify:     PASSED")
+    if result.table4 is not None and args.translation:
+        print("\naddress translation:")
+        for key, value in result.table4.items():
+            print(f"  {key:28s} {value:>14.2f}" if isinstance(value, float)
+                  else f"  {key:28s} {value:>14d}")
+    return 0
+
+
+def cmd_vit(args) -> int:
+    config = _system_by_name(args.system)
+    result = run_vit(config, args.model, dim_scale=args.dim_scale)
+    print(f"system:        {config.name}")
+    print(f"model:         {result.model_name}")
+    print(f"total:         {result.seconds * 1e3:.2f} ms")
+    print(f"GEMM:          {result.gemm_ticks / 1e9:.2f} ms")
+    print(f"non-GEMM:      {result.nongemm_ticks / 1e9:.2f} ms")
+    print(f"non-GEMM share {100 * result.nongemm_fraction:.1f}%")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    size = args.size
+    if args.kind == "bandwidth":
+        rows = []
+        for lanes in (2, 4, 8, 16):
+            for gbps in (2.0, 8.0, 32.0):
+                config = _system_by_name(args.system).with_pcie_bandwidth(
+                    lanes, gbps
+                )
+                result = run_gemm(config, size, size, size)
+                rows.append(
+                    (f"x{lanes}", f"{gbps:g}",
+                     f"{result.seconds * 1e6:.1f}")
+                )
+        print(format_table(["lanes", "Gb/s/lane", "exec us"], rows))
+    else:
+        rows = []
+        for packet in (64, 128, 256, 512, 1024, 2048, 4096):
+            config = _system_by_name(args.system).with_packet_size(packet)
+            result = run_gemm(config, size, size, size)
+            rows.append((packet, f"{result.seconds * 1e6:.1f}"))
+        print(format_table(["packet B", "exec us"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Gem5-AcceSys reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_systems = sub.add_parser("systems", help="list named configurations")
+    p_systems.set_defaults(func=cmd_systems)
+
+    p_gemm = sub.add_parser("gemm", help="run one GEMM")
+    p_gemm.add_argument("--system", default="Table2")
+    p_gemm.add_argument("--size", type=int, default=128)
+    p_gemm.add_argument("--packet-size", type=int, default=0)
+    p_gemm.add_argument("--seed", type=int, default=1234)
+    p_gemm.add_argument("--verify", action="store_true",
+                        help="check the result against numpy")
+    p_gemm.add_argument("--translation", action="store_true",
+                        help="print Table IV metrics")
+    p_gemm.set_defaults(func=cmd_gemm)
+
+    p_vit = sub.add_parser("vit", help="run ViT inference")
+    p_vit.add_argument("--system", default="PCIe-8GB")
+    p_vit.add_argument("--model", default="base",
+                       choices=["base", "large", "huge"])
+    p_vit.add_argument("--dim-scale", type=float, default=0.25)
+    p_vit.set_defaults(func=cmd_vit)
+
+    p_sweep = sub.add_parser("sweep", help="bandwidth or packet sweeps")
+    p_sweep.add_argument("--kind", choices=["bandwidth", "packet"],
+                         default="bandwidth")
+    p_sweep.add_argument("--system", default="Table2")
+    p_sweep.add_argument("--size", type=int, default=128)
+    p_sweep.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

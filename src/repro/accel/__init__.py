@@ -1,0 +1,36 @@
+"""The MatrixFlow-style systolic-array accelerator and its wrapper.
+
+Mirrors the paper's accelerator stack (Fig. 1, Section III-B):
+
+* :mod:`~repro.accel.systolic` -- the 16x16 multiply-accumulate systolic
+  array: cycle-level timing plus a numpy functional model (the RTL /
+  Verilator child process of the paper is replaced by this parametric
+  model; Fig. 2 sweeps its compute time directly),
+* :mod:`~repro.accel.local_buffer` -- the Local Mem Buffer scratchpad,
+* :mod:`~repro.accel.devmem` -- the device memory (DevMem) controller,
+* :mod:`~repro.accel.controller` -- the accelerator controller: tiling,
+  double-buffered DMA prefetch, compute/transfer overlap,
+* :mod:`~repro.accel.wrapper` -- the Accelerator Wrapper: PCIe function
+  (BARs), MMIO register file, DMA block and controller in one unit,
+* :mod:`~repro.accel.driver` -- the kernel-driver model: config-space
+  probe, BAR mapping, buffer pinning (SMMU page-table setup) and job
+  launch via doorbell.
+"""
+
+from repro.accel.systolic import SystolicArray, SystolicParams
+from repro.accel.local_buffer import LocalBuffer
+from repro.accel.devmem import DeviceMemory
+from repro.accel.controller import AcceleratorController, GemmJob
+from repro.accel.wrapper import AcceleratorWrapper
+from repro.accel.driver import AccelDriver
+
+__all__ = [
+    "SystolicArray",
+    "SystolicParams",
+    "LocalBuffer",
+    "DeviceMemory",
+    "AcceleratorController",
+    "GemmJob",
+    "AcceleratorWrapper",
+    "AccelDriver",
+]

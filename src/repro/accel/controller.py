@@ -1,0 +1,259 @@
+"""Accelerator controller: tiling, prefetch, compute/transfer overlap.
+
+Implements the MatrixFlow dataflow the paper's Table IV implies: each
+16x16 output tile streams its full A row-panel and B column-panel from
+memory (no cross-tile panel reuse -- the uTLB lookup counts in the paper
+equal the streamed line count), computes on the systolic array, and writes
+the tile back.  Operands use the MatrixFlow packed layout: panels are
+stored contiguously, so each panel is a single DMA descriptor.
+
+The controller double-buffers: while tile *t* computes, panels for tiles
+*t+1..t+depth* prefetch, bounded by the local-buffer capacity.  An
+optional ``reuse_a_panels`` flag keeps the current A panel resident across
+a row of output tiles -- an ablation knob for the design-choice study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.accel.local_buffer import BufferFullError, LocalBuffer
+from repro.accel.systolic import SystolicArray
+from repro.dma import DMADescriptor, DMADirection, DMAEngine
+from repro.sim.eventq import Simulator
+from repro.sim.simobject import SimObject
+
+#: Called with (job, result_stats_dict) when a job retires.
+JobDoneFn = Callable[["GemmJob", Dict[str, float]], None]
+
+
+@dataclass
+class GemmJob:
+    """One C = A x B launch.
+
+    Addresses are accelerator-visible (virtual when an SMMU is in the
+    path).  Operands are stored in the MatrixFlow packed layout:
+
+    * A: row-panel-major -- panel ``i`` (rows ``16i..16i+15``) contiguous
+      at ``a_addr + i * 16 * k * element_bytes``,
+    * B: column-panel-major -- panel ``j`` contiguous at
+      ``b_addr + j * k * 16 * element_bytes``,
+    * C: tile-major -- tile (i, j) contiguous at
+      ``c_addr + (i * tiles_n + j) * 256 * element_bytes``.
+    """
+
+    m: int
+    k: int
+    n: int
+    a_addr: int
+    b_addr: int
+    c_addr: int
+    element_bytes: int = 4
+    packet_size: Optional[int] = None
+    #: Optional functional operands; results land in :attr:`c_result`.
+    a_data: Optional[np.ndarray] = None
+    b_data: Optional[np.ndarray] = None
+    c_result: Optional[np.ndarray] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n) <= 0:
+            raise ValueError(f"GEMM dims must be positive: {self.m}x{self.k}x{self.n}")
+        if self.a_data is not None and self.a_data.shape != (self.m, self.k):
+            raise ValueError(
+                f"A shape {self.a_data.shape} != ({self.m}, {self.k})"
+            )
+        if self.b_data is not None and self.b_data.shape != (self.k, self.n):
+            raise ValueError(
+                f"B shape {self.b_data.shape} != ({self.k}, {self.n})"
+            )
+
+    @property
+    def functional(self) -> bool:
+        return self.a_data is not None and self.b_data is not None
+
+    def traffic_bytes(self, tile: int = 16, reuse_a: bool = False) -> int:
+        """Expected DMA read volume for the streaming dataflow."""
+        tiles_m = -(-self.m // tile)
+        tiles_n = -(-self.n // tile)
+        a_panel = tile * self.k * self.element_bytes
+        b_panel = self.k * tile * self.element_bytes
+        a_fetches = tiles_m if reuse_a else tiles_m * tiles_n
+        return a_fetches * a_panel + tiles_m * tiles_n * b_panel
+
+
+class AcceleratorController(SimObject):
+    """Sequences DMA and systolic-array work for GEMM jobs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        systolic: SystolicArray,
+        local_buffer: LocalBuffer,
+        dma: DMAEngine,
+        prefetch_depth: int = 2,
+        reuse_a_panels: bool = False,
+    ) -> None:
+        super().__init__(sim, name)
+        if prefetch_depth < 1:
+            raise ValueError(f"prefetch depth must be >= 1, got {prefetch_depth}")
+        self.systolic = systolic
+        self.local_buffer = local_buffer
+        self.dma = dma
+        self.prefetch_depth = prefetch_depth
+        self.reuse_a_panels = reuse_a_panels
+        self._busy = False
+
+        self._jobs = self.stats.scalar("jobs", "GEMM jobs completed")
+        self._tiles = self.stats.scalar("tiles", "output tiles produced")
+        self._stall_ticks = self.stats.scalar(
+            "stall_ticks", "array idle time waiting for operands"
+        )
+
+    # ------------------------------------------------------------------
+    # Job launch
+    # ------------------------------------------------------------------
+    def launch(self, job: GemmJob, on_done: JobDoneFn) -> None:
+        """Run ``job``; fire ``on_done(job, stats)`` when it fully retires."""
+        if self._busy:
+            raise RuntimeError(f"{self.name}: a job is already running")
+        self._busy = True
+
+        tile = self.systolic.params.rows
+        tiles_m = -(-job.m // tile)
+        tiles_n = -(-job.n // tile)
+        ntiles = tiles_m * tiles_n
+        eb = job.element_bytes
+        a_panel_bytes = tile * job.k * eb
+        b_panel_bytes = job.k * tile * eb
+        c_tile_bytes = tile * tile * eb
+
+        if job.functional:
+            job.c_result = np.zeros((job.m, job.n), dtype=np.int32)
+
+        state = {
+            "next_fetch": 0,
+            "next_compute": 0,
+            "ready": set(),
+            "writebacks": 0,
+            "fetched_a_row": -1,
+            "start": self.now,
+            "compute_done": 0,
+            "last_data_wait": self.now,
+        }
+
+        def tile_coords(index: int) -> tuple:
+            return index // tiles_n, index % tiles_n
+
+        def issue_prefetches() -> None:
+            while (
+                state["next_fetch"] < ntiles
+                and state["next_fetch"] - state["next_compute"] < self.prefetch_depth
+            ):
+                index = state["next_fetch"]
+                i, j = tile_coords(index)
+                fetch_a = not (self.reuse_a_panels and i == state["fetched_a_row"])
+                need = b_panel_bytes + (a_panel_bytes if fetch_a else 0)
+                try:
+                    self.local_buffer.alloc(f"tile{index}", need)
+                except BufferFullError:
+                    return  # retry after a tile frees its panels
+                state["next_fetch"] = index + 1
+                if fetch_a:
+                    state["fetched_a_row"] = i
+                descriptors: List[DMADescriptor] = []
+                if fetch_a:
+                    descriptors.append(
+                        DMADescriptor(
+                            job.a_addr + i * a_panel_bytes,
+                            a_panel_bytes,
+                            DMADirection.HOST_TO_DEVICE,
+                            stream="A",
+                            packet_size=job.packet_size,
+                        )
+                    )
+                descriptors.append(
+                    DMADescriptor(
+                        job.b_addr + j * b_panel_bytes,
+                        b_panel_bytes,
+                        DMADirection.HOST_TO_DEVICE,
+                        stream="B",
+                        packet_size=job.packet_size,
+                    )
+                )
+                self.dma.submit_list(
+                    descriptors, lambda idx=index: data_arrived(idx)
+                )
+
+        def data_arrived(index: int) -> None:
+            state["ready"].add(index)
+            start_computes()
+
+        def start_computes() -> None:
+            while state["next_compute"] < ntiles and state[
+                "next_compute"
+            ] in state["ready"]:
+                index = state["next_compute"]
+                state["next_compute"] = index + 1
+                self.systolic.compute_tile(
+                    job.k, lambda idx=index: tile_computed(idx)
+                )
+
+        def tile_computed(index: int) -> None:
+            i, j = tile_coords(index)
+            self.local_buffer.free(f"tile{index}")
+            self._tiles.inc()
+            if job.functional:
+                self._compute_tile_result(job, i, j, tile)
+            state["writebacks"] += 1
+            writeback = DMADescriptor(
+                job.c_addr + index * c_tile_bytes,
+                c_tile_bytes,
+                DMADirection.DEVICE_TO_HOST,
+                stream="C",
+                packet_size=job.packet_size,
+            )
+            self.dma.submit(writeback, lambda _d, idx=index: writeback_done(idx))
+            state["compute_done"] += 1
+            issue_prefetches()
+
+        def writeback_done(_index: int) -> None:
+            state["writebacks"] -= 1
+            maybe_finish()
+
+        def maybe_finish() -> None:
+            if state["compute_done"] == ntiles and state["writebacks"] == 0:
+                self._busy = False
+                self._jobs.inc()
+                self._stall_ticks.set(self.systolic.stats["idle_ticks"].value)
+                stats = {
+                    "ticks": self.now - state["start"],
+                    "tiles": ntiles,
+                    "bytes_read": job.traffic_bytes(
+                        tile, self.reuse_a_panels
+                    ),
+                    "bytes_written": ntiles * c_tile_bytes,
+                    "compute_busy_ticks": self.systolic.stats["busy_ticks"].value,
+                    "stall_ticks": self.systolic.stats["idle_ticks"].value,
+                }
+                on_done(job, stats)
+
+        issue_prefetches()
+
+    # ------------------------------------------------------------------
+    # Functional model
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _compute_tile_result(job: GemmJob, i: int, j: int, tile: int) -> None:
+        r0, r1 = i * tile, min((i + 1) * tile, job.m)
+        c0, c1 = j * tile, min((j + 1) * tile, job.n)
+        a_panel = job.a_data[r0:r1, :]
+        b_panel = job.b_data[:, c0:c1]
+        job.c_result[r0:r1, c0:c1] = SystolicArray.multiply(a_panel, b_panel)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy

@@ -1,0 +1,23 @@
+"""Cache hierarchy: set-associative caches with MSHRs and writeback.
+
+Used for the CPU-side L1/L2/LLC, the IOCache in front of the PCIe root
+complex, and the optional device-side cache.  The direct-cache (DC) access
+mode of the paper routes accelerator transactions through these caches; a
+lightweight invalidation-based coherence scheme (driven by the MemBus) keeps
+the accelerator's view consistent with the CPU caches, mirroring the cache
+coherency model the paper adds between accelerator and CPU.
+"""
+
+from repro.cache.replacement import FIFOPolicy, LRUPolicy, RandomPolicy, make_policy
+from repro.cache.tags import TagStore
+from repro.cache.cache import Cache, CacheParams
+
+__all__ = [
+    "Cache",
+    "CacheParams",
+    "TagStore",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "make_policy",
+]

@@ -1,0 +1,97 @@
+"""Replacement policies for set-associative tag stores.
+
+A policy tracks access order *per set* and nominates a victim way when the
+set is full.  Policies are deliberately stateless across sets: the tag store
+calls ``touch``/``insert``/``evict`` with the set index and way.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+
+class ReplacementPolicy:
+    """Interface: track touches and choose victims within one set."""
+
+    def __init__(self, num_sets: int, assoc: int) -> None:
+        self.num_sets = num_sets
+        self.assoc = assoc
+
+    def touch(self, set_index: int, way: int) -> None:
+        """Record an access to ``way`` of ``set_index``."""
+
+    def insert(self, set_index: int, way: int) -> None:
+        """Record a fill into ``way`` of ``set_index``."""
+        self.touch(set_index, way)
+
+    def victim(self, set_index: int, occupied: List[int]) -> int:
+        """Choose a way to evict among ``occupied`` ways."""
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used: evict the way touched longest ago."""
+
+    def __init__(self, num_sets: int, assoc: int) -> None:
+        super().__init__(num_sets, assoc)
+        self._stamp = 0
+        self._last_use: List[List[int]] = [
+            [0] * assoc for _ in range(num_sets)
+        ]
+
+    def touch(self, set_index: int, way: int) -> None:
+        self._stamp += 1
+        self._last_use[set_index][way] = self._stamp
+
+    def victim(self, set_index: int, occupied: List[int]) -> int:
+        stamps = self._last_use[set_index]
+        return min(occupied, key=stamps.__getitem__)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out: evict the way filled longest ago."""
+
+    def __init__(self, num_sets: int, assoc: int) -> None:
+        super().__init__(num_sets, assoc)
+        self._stamp = 0
+        self._fill_time: List[List[int]] = [
+            [0] * assoc for _ in range(num_sets)
+        ]
+
+    def insert(self, set_index: int, way: int) -> None:
+        self._stamp += 1
+        self._fill_time[set_index][way] = self._stamp
+
+    def victim(self, set_index: int, occupied: List[int]) -> int:
+        stamps = self._fill_time[set_index]
+        return min(occupied, key=stamps.__getitem__)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim selection (seeded for reproducibility)."""
+
+    def __init__(self, num_sets: int, assoc: int, seed: int = 1) -> None:
+        super().__init__(num_sets, assoc)
+        self._rng = random.Random(seed)
+
+    def victim(self, set_index: int, occupied: List[int]) -> int:
+        return self._rng.choice(occupied)
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, num_sets: int, assoc: int) -> ReplacementPolicy:
+    """Instantiate a policy by name ('lru', 'fifo', 'random')."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    return cls(num_sets, assoc)

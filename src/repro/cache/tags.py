@@ -1,0 +1,153 @@
+"""Set-associative tag store.
+
+Tracks which cache lines are resident, their dirty bits, and drives the
+replacement policy.  Addresses are *line* addresses (byte address //
+line_size); the :class:`~repro.cache.cache.Cache` handles byte-level
+slicing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.replacement import ReplacementPolicy, make_policy
+
+
+class _Way:
+    """One way of one set."""
+
+    __slots__ = ("line", "dirty")
+
+    def __init__(self) -> None:
+        self.line: Optional[int] = None
+        self.dirty = False
+
+
+class TagStore:
+    """Tags for a set-associative cache.
+
+    Parameters
+    ----------
+    size:
+        Capacity in bytes.
+    assoc:
+        Associativity (ways per set).
+    line_size:
+        Bytes per line (power of two).
+    policy:
+        Replacement policy name ('lru', 'fifo', 'random').
+    """
+
+    def __init__(
+        self, size: int, assoc: int, line_size: int = 64, policy: str = "lru"
+    ) -> None:
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ValueError(f"line size must be a power of two, got {line_size}")
+        if size % (assoc * line_size):
+            raise ValueError(
+                f"size {size} not divisible by assoc*line_size "
+                f"({assoc}*{line_size})"
+            )
+        self.size = size
+        self.assoc = assoc
+        self.line_size = line_size
+        self.num_sets = size // (assoc * line_size)
+        if self.num_sets == 0:
+            raise ValueError("cache too small for its associativity")
+        self.policy: ReplacementPolicy = make_policy(policy, self.num_sets, assoc)
+        self._sets: List[List[_Way]] = [
+            [_Way() for _ in range(assoc)] for _ in range(self.num_sets)
+        ]
+        # line -> (set_index, way_index) for O(1) lookup.
+        self._where: Dict[int, Tuple[int, int]] = {}
+        self._occupancy: List[int] = [0] * self.num_sets
+        self._all_ways = list(range(assoc))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def set_index_of(self, line: int) -> int:
+        return line % self.num_sets
+
+    def probe(self, line: int) -> bool:
+        """True if ``line`` is resident; does not update recency."""
+        return line in self._where
+
+    def access(self, line: int) -> bool:
+        """Lookup with recency update; True on hit."""
+        loc = self._where.get(line)
+        if loc is None:
+            return False
+        self.policy.touch(*loc)
+        return True
+
+    def is_dirty(self, line: int) -> bool:
+        loc = self._where.get(line)
+        if loc is None:
+            return False
+        return self._sets[loc[0]][loc[1]].dirty
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def fill(self, line: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
+        """Insert ``line``; return evicted ``(line, was_dirty)`` if any.
+
+        Filling a line that is already resident just updates its dirty bit
+        (logical OR) and recency.
+        """
+        loc = self._where.get(line)
+        if loc is not None:
+            way = self._sets[loc[0]][loc[1]]
+            way.dirty = way.dirty or dirty
+            self.policy.touch(*loc)
+            return None
+
+        set_index = self.set_index_of(line)
+        ways = self._sets[set_index]
+        victim_info: Optional[Tuple[int, bool]] = None
+
+        if self._occupancy[set_index] < self.assoc:
+            free_way = next(i for i, w in enumerate(ways) if w.line is None)
+            self._occupancy[set_index] += 1
+        else:
+            free_way = self.policy.victim(set_index, self._all_ways)
+            victim = ways[free_way]
+            victim_info = (victim.line, victim.dirty)
+            del self._where[victim.line]
+
+        slot = ways[free_way]
+        slot.line = line
+        slot.dirty = dirty
+        self._where[line] = (set_index, free_way)
+        self.policy.insert(set_index, free_way)
+        return victim_info
+
+    def mark_dirty(self, line: int) -> None:
+        """Set the dirty bit of a resident line."""
+        loc = self._where.get(line)
+        if loc is None:
+            raise KeyError(f"line {line:#x} not resident")
+        self._sets[loc[0]][loc[1]].dirty = True
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if resident; returns True if it was dirty."""
+        loc = self._where.pop(line, None)
+        if loc is None:
+            return False
+        way = self._sets[loc[0]][loc[1]]
+        dirty = way.dirty
+        way.line = None
+        way.dirty = False
+        self._occupancy[loc[0]] -= 1
+        return dirty
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def resident_lines(self) -> int:
+        return len(self._where)
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._where

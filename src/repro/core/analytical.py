@@ -1,0 +1,154 @@
+"""GEMM / non-GEMM trade-off model (Section V-D.2, Fig. 9).
+
+The paper models total transformer time as::
+
+    Time_overall = T_other + W_GEMM / P_GEMM + W_NonGEMM / P_NonGEMM
+
+where the W's are workload fractions and the P's per-class performance of
+a configuration.  Feeding the model with *measured* per-class times from
+:func:`~repro.core.runner.run_vit` lets us sweep the non-GEMM fraction
+from 0 to 100% and find the thresholds where DevMem stops paying off --
+the paper reports W_GEMM > 34.31% (2 GB/s), 10.16% (8 GB/s) and 4.27%
+(64 GB/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TradeoffModel:
+    """Per-configuration unit costs calibrated from a measured run.
+
+    ``gemm_unit_time`` / ``nongemm_unit_time`` are the times the
+    configuration needs for the *whole* reference workload's GEMM and
+    non-GEMM portions; ``t_other`` is the fixed remainder.
+    """
+
+    name: str
+    gemm_unit_time: float
+    nongemm_unit_time: float
+    t_other: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gemm_unit_time < 0 or self.nongemm_unit_time < 0:
+            raise ValueError("unit times must be non-negative")
+
+    @classmethod
+    def from_measured(
+        cls, name: str, gemm_ticks: float, nongemm_ticks: float,
+        other_ticks: float = 0.0,
+    ) -> "TradeoffModel":
+        """Calibrate from a measured run's per-class times."""
+        return cls(name, gemm_ticks, nongemm_ticks, other_ticks)
+
+    def overall_time(self, nongemm_fraction: float) -> float:
+        """Total time for a workload with the given non-GEMM share.
+
+        The reference workload is rescaled so that ``nongemm_fraction``
+        of its *work* is non-GEMM: fractions weight each class's unit
+        time, exactly the paper's formula with W_G + W_NG = 1.
+        """
+        if not 0.0 <= nongemm_fraction <= 1.0:
+            raise ValueError(
+                f"fraction must be within [0, 1], got {nongemm_fraction}"
+            )
+        w_gemm = 1.0 - nongemm_fraction
+        return (
+            self.t_other
+            + w_gemm * self.gemm_unit_time
+            + nongemm_fraction * self.nongemm_unit_time
+        )
+
+    def sweep(self, steps: int = 101) -> List[Tuple[float, float]]:
+        """(fraction, time) samples across the whole range."""
+        return [
+            (i / (steps - 1), self.overall_time(i / (steps - 1)))
+            for i in range(steps)
+        ]
+
+
+def devmem_threshold(
+    devmem: TradeoffModel,
+    pcie: TradeoffModel,
+    resolution: int = 100_000,
+) -> Optional[float]:
+    """Minimum GEMM fraction at which DevMem beats the PCIe system.
+
+    Solves ``devmem.overall_time(w) <= pcie.overall_time(w)`` for the
+    non-GEMM fraction ``w`` and returns the *GEMM* fraction threshold
+    ``1 - w`` (the form the paper reports).  Returns None when one system
+    dominates everywhere.
+
+    Both models are linear in ``w``, so the crossing is exact:
+    ``delta(w) = (devmem - pcie)(w)`` changes sign at most once.
+    """
+    delta0 = devmem.overall_time(0.0) - pcie.overall_time(0.0)
+    delta1 = devmem.overall_time(1.0) - pcie.overall_time(1.0)
+    if delta0 <= 0 and delta1 <= 0:
+        return 0.0  # DevMem always wins
+    if delta0 > 0 and delta1 > 0:
+        return None  # PCIe always wins
+    # Linear interpolation for the root of delta(w) = 0.
+    w_cross = delta0 / (delta0 - delta1)
+    w_cross = max(0.0, min(1.0, w_cross))
+    if delta0 <= 0:
+        # DevMem wins at low non-GEMM fractions (the paper's regime):
+        # it keeps winning up to w_cross.
+        return 1.0 - w_cross
+    return 1.0 - w_cross
+
+
+def threshold_table(
+    devmem: TradeoffModel, pcie_models: Sequence[TradeoffModel]
+) -> List[Tuple[str, Optional[float]]]:
+    """GEMM-fraction thresholds of DevMem against each PCIe system."""
+    return [
+        (pcie.name, devmem_threshold(devmem, pcie)) for pcie in pcie_models
+    ]
+
+
+def relative_time_curve(
+    devmem: TradeoffModel, pcie: TradeoffModel, steps: int = 11
+) -> List[Tuple[float, float]]:
+    """DevMem time normalized to the PCIe system, vs non-GEMM time share.
+
+    This is the exact parameterization of the paper's Fig. 9: the x-axis
+    is the fraction of total time the workload spends in non-GEMM *when
+    executed on the PCIe system*; the PCIe curve is the constant 1.  With
+    ``r_g = G_dev / G_pcie`` and ``r_ng = NG_dev / NG_pcie``::
+
+        T_dev(w) = (1 - w) * r_g + w * r_ng
+    """
+    if pcie.gemm_unit_time <= 0 or pcie.nongemm_unit_time <= 0:
+        raise ValueError("PCIe reference times must be positive")
+    r_g = devmem.gemm_unit_time / pcie.gemm_unit_time
+    r_ng = devmem.nongemm_unit_time / pcie.nongemm_unit_time
+    return [
+        (w, (1 - w) * r_g + w * r_ng)
+        for w in (i / (steps - 1) for i in range(steps))
+    ]
+
+
+def nongemm_time_threshold(
+    devmem: TradeoffModel, pcie: TradeoffModel
+) -> Optional[float]:
+    """Largest non-GEMM time share at which DevMem still wins (Fig. 9).
+
+    The paper reports these thresholds falling with PCIe bandwidth:
+    34.31% at 2 GB/s, 10.16% at 8 GB/s, 4.27% at 64 GB/s (DevMem is
+    preferred when the non-GEMM fraction stays below the threshold).
+    Returns None when DevMem never wins, 1.0 when it always wins.
+    """
+    if pcie.gemm_unit_time <= 0 or pcie.nongemm_unit_time <= 0:
+        raise ValueError("PCIe reference times must be positive")
+    r_g = devmem.gemm_unit_time / pcie.gemm_unit_time
+    r_ng = devmem.nongemm_unit_time / pcie.nongemm_unit_time
+    if r_g >= 1.0:
+        return None if r_ng >= 1.0 else 1.0
+    if r_ng <= 1.0:
+        return 1.0
+    # Solve (1 - w) r_g + w r_ng = 1.
+    return (1.0 - r_g) / (r_ng - r_g)

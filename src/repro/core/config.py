@@ -1,0 +1,240 @@
+"""System configuration and the paper's named configurations.
+
+:class:`SystemConfig` aggregates every knob of the framework.  The
+defaults reproduce Table II:
+
+========================  =======================================
+CPU                       ARM-class, 1 GHz
+Data / instruction cache  64 kB / 32 kB
+Last-level cache          2 MB
+IOCache                   32 kB
+Memory                    DDR3-1600, 4 GB
+PCIe                      Gen-2-style, 4 lanes (2 GB/s effective)
+PCIe root complex         150 ns
+PCIe switch               50 ns
+========================  =======================================
+
+The classmethod presets build the four Section V-C systems (PCIe-2GB,
+PCIe-8GB, PCIe-64GB, DevMem) with the memory types and packet sizes the
+paper assigns to each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.accel.systolic import SystolicParams
+from repro.cache.cache import CacheParams
+from repro.core.access_modes import AccessMode
+from repro.interconnect.pcie.link import PCIeConfig
+from repro.interconnect.pcie.tlp import TLPParams
+from repro.memory.dram.devices import DDR3_1600, DDR4_2400, HBM2
+from repro.memory.dram.timings import DRAMTimings
+from repro.sim.ticks import ns
+from repro.smmu.smmu import SMMUConfig
+
+GB = 10**9
+GiB = 1 << 30
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build an :class:`AcceSysSystem`."""
+
+    name: str = "table2-baseline"
+    # CPU cluster -------------------------------------------------------
+    cpu_freq_hz: float = 1e9
+    l1d: CacheParams = field(
+        default_factory=lambda: CacheParams(
+            size=64 * 1024, assoc=4, hit_latency=ns(2), mshrs=8
+        )
+    )
+    l1i_size: int = 32 * 1024
+    llc: CacheParams = field(
+        default_factory=lambda: CacheParams(
+            size=2 * 1024 * 1024, assoc=16, hit_latency=ns(20), mshrs=32
+        )
+    )
+    iocache: CacheParams = field(
+        default_factory=lambda: CacheParams(
+            size=32 * 1024, assoc=4, hit_latency=ns(4), mshrs=16
+        )
+    )
+    # Host memory -------------------------------------------------------
+    host_mem_bytes: int = 4 * GiB
+    host_mem: DRAMTimings = DDR3_1600
+    # Device memory -----------------------------------------------------
+    devmem_bytes: int = 2 * GiB
+    devmem: Optional[DRAMTimings] = None
+    #: (latency_ticks, bytes_per_sec) for a SimpleMemory device memory;
+    #: used when ``devmem`` is None and device memory is needed.
+    devmem_simple: Tuple[int, int] = (ns(40), 64 * GB)
+    # PCIe --------------------------------------------------------------
+    pcie: PCIeConfig = field(default_factory=PCIeConfig)
+    # SMMU (None disables accelerator-side translation) -----------------
+    smmu: Optional[SMMUConfig] = field(default_factory=SMMUConfig)
+    # Accelerator -------------------------------------------------------
+    systolic: SystolicParams = field(default_factory=SystolicParams)
+    local_buffer_bytes: int = 512 * 1024
+    dma_channels: int = 4
+    dma_tags: int = 32
+    dma_segment_bytes: int = 4096
+    prefetch_depth: int = 2
+    reuse_a_panels: bool = False
+    compute_ticks_override: Optional[int] = None
+    # Access method and default packet size ------------------------------
+    access_mode: AccessMode = AccessMode.DIRECT_CACHE
+    packet_size: Optional[int] = None
+    #: Allocate functional backing stores (needed for data verification).
+    functional: bool = False
+    #: Accelerator-cluster size: endpoints sharing the PCIe hierarchy.
+    num_accelerators: int = 1
+    #: Interconnect family: "pcie" (root complex + switch) or "cxl"
+    #: (directly-attached flit-based port; see repro.interconnect.cxl).
+    interconnect: str = "pcie"
+
+    # ------------------------------------------------------------------
+    # Derived
+    # ------------------------------------------------------------------
+    @property
+    def uses_device_memory(self) -> bool:
+        return self.access_mode is AccessMode.DEVICE_MEMORY
+
+    def with_(self, **overrides) -> "SystemConfig":
+        """A copy with fields replaced (dataclasses.replace shorthand)."""
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # Paper presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def table2_baseline(cls, **overrides) -> "SystemConfig":
+        """The default system of Table II."""
+        return cls(**overrides)
+
+    @classmethod
+    def pcie_2gb(cls, **overrides) -> "SystemConfig":
+        """Section V-C system 1: host memory, 2 GB/s PCIe, DDR4."""
+        defaults = dict(
+            name="PCIe-2GB",
+            pcie=PCIeConfig(lanes=4, lane_gbps=5.0, encoding=(8, 10)),
+            host_mem=DDR4_2400,
+            packet_size=256,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def pcie_8gb(cls, **overrides) -> "SystemConfig":
+        """Section V-C system 2: host memory, 8 GB/s PCIe, DDR4."""
+        defaults = dict(
+            name="PCIe-8GB",
+            pcie=PCIeConfig(lanes=8, lane_gbps=8.0, encoding=(128, 130)),
+            host_mem=DDR4_2400,
+            packet_size=256,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def pcie_64gb(cls, **overrides) -> "SystemConfig":
+        """Section V-C system 3: host memory, 64 GB/s PCIe, HBM2."""
+        defaults = dict(
+            name="PCIe-64GB",
+            pcie=PCIeConfig(lanes=16, lane_gbps=32.0, encoding=(242, 256)),
+            host_mem=HBM2,
+            packet_size=256,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def devmem_system(cls, **overrides) -> "SystemConfig":
+        """Section V-C system 4: device-side HBM2, 64 B bursts."""
+        defaults = dict(
+            name="DevMem",
+            access_mode=AccessMode.DEVICE_MEMORY,
+            devmem=HBM2,
+            packet_size=64,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def cxl_host(cls, lanes: int = 8, lane_gbps: float = 32.0, **overrides):
+        """Extension: host memory behind a CXL-style port (not in the
+        paper; see repro.interconnect.cxl)."""
+        from repro.interconnect.cxl import cxl_link_config
+
+        defaults = dict(
+            name="CXL-host",
+            interconnect="cxl",
+            pcie=cxl_link_config(lanes=lanes, lane_gbps=lane_gbps),
+            host_mem=HBM2,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def devmem_cxl(cls, lanes: int = 8, lane_gbps: float = 32.0, **overrides):
+        """Extension: device-side memory with CPU access over CXL."""
+        from repro.interconnect.cxl import cxl_link_config
+
+        defaults = dict(
+            name="DevMem-CXL",
+            interconnect="cxl",
+            access_mode=AccessMode.DEVICE_MEMORY,
+            devmem=HBM2,
+            pcie=cxl_link_config(lanes=lanes, lane_gbps=lane_gbps),
+            packet_size=64,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def paper_systems(cls) -> dict:
+        """The four Section V-C configurations, keyed by paper name."""
+        return {
+            "PCIe-2GB": cls.pcie_2gb(),
+            "PCIe-8GB": cls.pcie_8gb(),
+            "PCIe-64GB": cls.pcie_64gb(),
+            "DevMem": cls.devmem_system(),
+        }
+
+    def with_pcie_bandwidth(
+        self, lanes: int, lane_gbps: float, encoding: Tuple[int, int] = (128, 130)
+    ) -> "SystemConfig":
+        """Copy with a different PCIe link (Fig. 3 sweeps)."""
+        new_pcie = PCIeConfig(
+            lanes=lanes,
+            lane_gbps=lane_gbps,
+            encoding=encoding,
+            tlp=self.pcie.tlp,
+            rc_latency=self.pcie.rc_latency,
+            switch_latency=self.pcie.switch_latency,
+            rc_tlp_occupancy=self.pcie.rc_tlp_occupancy,
+            switch_tlp_occupancy=self.pcie.switch_tlp_occupancy,
+            hop_buffer_bytes=self.pcie.hop_buffer_bytes,
+            max_tags=self.pcie.max_tags,
+        )
+        return self.with_(pcie=new_pcie)
+
+    def with_packet_size(self, packet_size: int) -> "SystemConfig":
+        """Copy with a different request packet size (Fig. 4 sweeps)."""
+        new_pcie = PCIeConfig(
+            lanes=self.pcie.lanes,
+            lane_gbps=self.pcie.lane_gbps,
+            encoding=self.pcie.encoding,
+            tlp=TLPParams(
+                max_payload=packet_size,
+                header_bytes=self.pcie.tlp.header_bytes,
+            ),
+            rc_latency=self.pcie.rc_latency,
+            switch_latency=self.pcie.switch_latency,
+            rc_tlp_occupancy=self.pcie.rc_tlp_occupancy,
+            switch_tlp_occupancy=self.pcie.switch_tlp_occupancy,
+            hop_buffer_bytes=self.pcie.hop_buffer_bytes,
+            max_tags=self.pcie.max_tags,
+        )
+        return self.with_(pcie=new_pcie, packet_size=packet_size)

@@ -1,0 +1,65 @@
+"""Roofline analysis of the accelerator system (Fig. 2).
+
+The paper fixes the PCIe bandwidth (8 GB/s) and sweeps the systolic
+array's computation time, observing two regimes: above the crossover the
+system is *compute-bound* (execution time scales with compute time),
+below it *memory-bound* (execution time is flat, pinned by the data-path
+bandwidth).  ``roofline_sweep`` reproduces the experiment by sweeping the
+array's per-tile compute-time override; ``find_crossover`` locates the
+boundary between the regimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.config import SystemConfig
+from repro.core.runner import run_gemm
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One sweep sample."""
+
+    compute_ticks: int
+    exec_ticks: int
+    normalized: float
+
+
+def roofline_sweep(
+    config: SystemConfig,
+    matrix_size: int,
+    compute_ticks_values: Sequence[int],
+) -> List[RooflinePoint]:
+    """Run the GEMM at each per-tile compute time; normalize to the max."""
+    if not compute_ticks_values:
+        raise ValueError("need at least one compute-time sample")
+    raw: List[tuple] = []
+    for compute_ticks in compute_ticks_values:
+        swept = config.with_(compute_ticks_override=int(compute_ticks))
+        result = run_gemm(swept, matrix_size, matrix_size, matrix_size)
+        raw.append((int(compute_ticks), result.ticks))
+    slowest = max(ticks for _, ticks in raw)
+    return [
+        RooflinePoint(compute, ticks, ticks / slowest)
+        for compute, ticks in raw
+    ]
+
+
+def find_crossover(
+    points: Sequence[RooflinePoint], tolerance: float = 0.05
+) -> Optional[int]:
+    """Compute time at the memory-bound/compute-bound boundary.
+
+    Points are sorted by compute time; the memory-bound plateau is the
+    region where execution time stays within ``tolerance`` of the minimum.
+    Returns the largest compute time still on the plateau (the paper's
+    red line), or None if the sweep never leaves one regime.
+    """
+    ordered = sorted(points, key=lambda p: p.compute_ticks)
+    floor = min(p.exec_ticks for p in ordered)
+    plateau = [p for p in ordered if p.exec_ticks <= floor * (1 + tolerance)]
+    if not plateau or len(plateau) == len(ordered):
+        return None
+    return plateau[-1].compute_ticks

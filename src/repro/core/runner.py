@@ -1,0 +1,363 @@
+"""Experiment drivers: single GEMM runs and full ViT inference.
+
+``run_gemm`` builds a system, pins operand buffers, launches through the
+kernel driver (real MMIO traffic) and reports end-to-end timing plus the
+per-subsystem statistics the benchmarks print.
+
+``run_vit`` walks a ViT op graph op by op: GEMMs dispatch to the
+accelerator, non-GEMM operators to the CPU, with tensors placed in host
+or device memory according to the configuration -- reproducing the
+Section V-C/V-D experiments.  Repeated shapes are *memoized*: the first
+instance of each (shape, packet) pair is simulated in full and later
+instances replay its measured latency.  Transformer layers are identical,
+so this cuts simulation cost by the layer count without changing totals
+(micro-architectural state differences across layers are second-order;
+DESIGN.md discusses the approximation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.system import AcceSysSystem
+from repro.cpu.nongemm import kernel_for_op
+from repro.sim.ticks import ticks_to_seconds
+from repro.workloads.gemm import GemmWorkload, pack_a_panels, pack_b_panels
+from repro.workloads.ops import GemmOp, NonGemmOp, OpGraph
+from repro.workloads.vit import VIT_VARIANTS, ViTConfig, build_vit_graph
+
+
+@dataclass
+class GemmResult:
+    """Outcome of one GEMM launch."""
+
+    config_name: str
+    m: int
+    k: int
+    n: int
+    ticks: int
+    job_ticks: int
+    traffic_bytes: int
+    c_matrix: Optional[np.ndarray] = None
+    table4: Optional[Dict[str, float]] = None
+    component_stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return ticks_to_seconds(self.ticks)
+
+    @property
+    def delivered_bytes_per_sec(self) -> float:
+        """Sustained operand bandwidth over the job."""
+        if self.job_ticks == 0:
+            return 0.0
+        return self.traffic_bytes / ticks_to_seconds(self.job_ticks)
+
+
+@dataclass
+class ViTResult:
+    """Outcome of one ViT inference run."""
+
+    config_name: str
+    model_name: str
+    total_ticks: int
+    gemm_ticks: int
+    nongemm_ticks: int
+    op_ticks: Dict[str, int] = field(default_factory=dict)
+    memo_hits: int = 0
+
+    @property
+    def seconds(self) -> float:
+        return ticks_to_seconds(self.total_ticks)
+
+    @property
+    def nongemm_fraction(self) -> float:
+        if self.total_ticks == 0:
+            return 0.0
+        return self.nongemm_ticks / self.total_ticks
+
+
+# ----------------------------------------------------------------------
+# GEMM
+# ----------------------------------------------------------------------
+def run_gemm(
+    config: SystemConfig,
+    m: int,
+    k: int,
+    n: int,
+    packet_size: Optional[int] = None,
+    functional: bool = False,
+    seed: int = 1234,
+) -> GemmResult:
+    """Build a system, run one C = A x B job, and report."""
+    if functional and not config.functional:
+        config = config.with_(functional=True)
+    system = AcceSysSystem(config)
+    workload = GemmWorkload(m, k, n, seed=seed)
+
+    a_addr = system.alloc_buffer("A", workload.a_bytes)
+    b_addr = system.alloc_buffer("B", workload.b_bytes)
+    c_addr = system.alloc_buffer("C", workload.c_bytes)
+
+    a_data = b_data = None
+    if functional:
+        a_data, b_data = workload.generate()
+        _write_operands(system, a_addr, b_addr, a_data, b_data)
+
+    done: Dict[str, object] = {}
+
+    def complete(job, stats) -> None:
+        done["job"] = job
+        done["stats"] = stats
+        done["at"] = system.now
+
+    system.driver.launch_gemm(
+        m, k, n, a_addr, b_addr, c_addr, complete,
+        packet_size=packet_size or config.packet_size,
+        a_data=a_data, b_data=b_data,
+    )
+    system.run()
+    if "stats" not in done:
+        raise RuntimeError("GEMM job never completed (deadlock in wiring?)")
+
+    job_stats = done["stats"]
+    table4 = None
+    if system.smmu is not None and not config.uses_device_memory:
+        table4 = system.smmu.table4_metrics(done["at"])
+    return GemmResult(
+        config_name=config.name,
+        m=m, k=k, n=n,
+        ticks=done["at"],
+        job_ticks=int(job_stats["ticks"]),
+        traffic_bytes=int(job_stats["bytes_read"] + job_stats["bytes_written"]),
+        c_matrix=done["job"].c_result,
+        table4=table4,
+        component_stats=_snapshot(system),
+    )
+
+
+def _write_operands(
+    system: AcceSysSystem, a_addr: int, b_addr: int,
+    a_data: np.ndarray, b_data: np.ndarray,
+) -> None:
+    """Place packed operands into the functional backing store."""
+    packed_a = pack_a_panels(a_data)
+    packed_b = pack_b_panels(b_data)
+    if system.config.uses_device_memory:
+        # DevMem addresses are physical already.
+        system.devmem_backing.write(a_addr, packed_a)
+        system.devmem_backing.write(b_addr, packed_b)
+    else:
+        backing = system.host_backing
+        backing.write(system.driver.buffer_paddr("A"), packed_a)
+        backing.write(system.driver.buffer_paddr("B"), packed_b)
+
+
+def _snapshot(system: AcceSysSystem) -> Dict[str, float]:
+    """A compact stat snapshot for reports."""
+    out: Dict[str, float] = {}
+    for component in (
+        system.wrapper.systolic,
+        system.wrapper.dma,
+        system.fabric.up,
+        system.fabric.down,
+        system.llc,
+        system.iocache,
+        system.mem_ctrl,
+        system.membus,
+    ):
+        for key, value in component.stats.flatten():
+            out[key] = value
+    if system.smmu is not None:
+        for key, value in system.smmu.stats.flatten():
+            out[key] = value
+    return out
+
+
+# ----------------------------------------------------------------------
+# ViT
+# ----------------------------------------------------------------------
+def run_vit(
+    config: SystemConfig,
+    model: str | ViTConfig = "base",
+    memoize: bool = True,
+    dim_scale: float = 1.0,
+) -> ViTResult:
+    """Run one ViT inference through the full system.
+
+    ``dim_scale`` scales hidden dimensions (benchmark harnesses use 0.5
+    by default to keep run times reasonable; REPRO_FULL=1 restores 1.0).
+    """
+    vit_config = _resolve_model(model, dim_scale)
+    graph = build_vit_graph(vit_config)
+    system = AcceSysSystem(config)
+    placement = _place_tensors(system, graph)
+
+    gemm_memo: Dict[Tuple, int] = {}
+    nongemm_memo: Dict[Tuple, int] = {}
+    result = ViTResult(
+        config_name=config.name,
+        model_name=vit_config.name,
+        total_ticks=0, gemm_ticks=0, nongemm_ticks=0,
+    )
+    state = {"index": 0, "op_start": 0}
+    ops = graph.ops
+
+    def next_op() -> None:
+        if state["index"] >= len(ops):
+            return
+        op = ops[state["index"]]
+        state["index"] += 1
+        state["op_start"] = system.now
+        if isinstance(op, GemmOp):
+            run_gemm_op(op)
+        else:
+            run_nongemm_op(op)
+
+    def account(op, elapsed: int) -> None:
+        result.op_ticks[op.name] = elapsed
+        if isinstance(op, GemmOp):
+            result.gemm_ticks += elapsed
+        else:
+            result.nongemm_ticks += elapsed
+
+    def run_gemm_op(op: GemmOp) -> None:
+        key = ("gemm", op.m, op.k, op.n, config.packet_size)
+        if memoize and key in gemm_memo:
+            result.memo_hits += 1
+            elapsed = gemm_memo[key] * op.batch
+            account(op, elapsed)
+            system.sim.schedule(elapsed, next_op)
+            return
+
+        a_ref = op.inputs[0]
+        b_ref = op.inputs[1] if len(op.inputs) > 1 else op.inputs[0]
+        c_ref = op.outputs[0]
+
+        def complete(_job, _stats) -> None:
+            elapsed = system.now - state["op_start"]
+            gemm_memo[key] = elapsed
+            remaining = (op.batch - 1) * elapsed
+            account(op, elapsed * op.batch)
+            system.sim.schedule(remaining, next_op)
+
+        system.driver.launch_gemm(
+            op.m, op.k, op.n,
+            placement[a_ref]["dev"],
+            placement[b_ref]["dev"],
+            placement[c_ref]["dev"],
+            complete,
+            packet_size=config.packet_size,
+        )
+
+    def run_nongemm_op(op: NonGemmOp) -> None:
+        # Shape key only: same operator over same element count behaves
+        # identically regardless of which layer's tensors it touches.
+        key = (
+            "nongemm", op.op_type, op.elements,
+            len(op.inputs), len(op.outputs),
+        )
+        if memoize and key in nongemm_memo:
+            result.memo_hits += 1
+            elapsed = nongemm_memo[key]
+            account(op, elapsed)
+            system.sim.schedule(elapsed, next_op)
+            return
+        kernel = kernel_for_op(
+            op.op_type,
+            op.elements,
+            [
+                (placement[ref]["cpu"], graph.tensors[ref])
+                for ref in op.inputs
+            ],
+            [
+                (placement[ref]["cpu"], graph.tensors[ref])
+                for ref in op.outputs
+            ],
+        )
+
+        def complete(elapsed: int) -> None:
+            nongemm_memo[key] = elapsed
+            account(op, elapsed)
+            system.sim.schedule(0, next_op)
+
+        system.cpu.run_kernel(kernel.streams, kernel.compute_cycles, complete)
+
+    next_op()
+    system.run()
+    if state["index"] < len(ops):
+        raise RuntimeError(
+            f"ViT run stalled at op {state['index']}/{len(ops)}"
+        )
+    result.total_ticks = system.now
+    return result
+
+
+def _resolve_model(model: str | ViTConfig, dim_scale: float) -> ViTConfig:
+    if isinstance(model, ViTConfig):
+        config = model
+    else:
+        try:
+            config = VIT_VARIANTS[model]
+        except KeyError:
+            raise ValueError(
+                f"unknown ViT variant {model!r}; known: {sorted(VIT_VARIANTS)}"
+            ) from None
+    if dim_scale != 1.0:
+        scaled_hidden = max(config.heads, int(config.hidden * dim_scale))
+        scaled_hidden -= scaled_hidden % config.heads
+        config = ViTConfig(
+            name=f"{config.name}(x{dim_scale:g})",
+            hidden=scaled_hidden,
+            layers=config.layers,
+            heads=config.heads,
+            mlp_ratio=config.mlp_ratio,
+            image_size=config.image_size,
+            patch_size=config.patch_size,
+        )
+    return config
+
+
+def _place_tensors(system: AcceSysSystem, graph: OpGraph) -> Dict[str, dict]:
+    """Allocate every tensor; record CPU- and device-visible addresses.
+
+    Tensors consumed by GEMMs are sized for the MatrixFlow *padded*
+    layouts (panels are full 16-row/column blocks), so the accelerator's
+    streaming reads never run past the pinned region.
+    """
+    required = dict(graph.tensors)
+    for op in graph.ops:
+        if not isinstance(op, GemmOp):
+            continue
+        eb = 4
+        tiles_m = -(-op.m // 16)
+        tiles_n = -(-op.n // 16)
+        a_ref = op.inputs[0]
+        b_ref = op.inputs[1] if len(op.inputs) > 1 else op.inputs[0]
+        c_ref = op.outputs[0]
+        needs = {
+            a_ref: tiles_m * 16 * op.k * eb,
+            b_ref: tiles_n * op.k * 16 * eb,
+            c_ref: tiles_m * tiles_n * 256 * eb,
+        }
+        for ref, need in needs.items():
+            required[ref] = max(required[ref], need)
+
+    placement: Dict[str, dict] = {}
+    uses_devmem = system.config.uses_device_memory
+    for name, size in required.items():
+        padded = max(size, 4096)
+        if uses_devmem:
+            addr = system.devmem_alloc.alloc(padded)
+            placement[name] = {"cpu": addr, "dev": addr}
+        else:
+            dev_addr = system.driver.pin_buffer(name, padded)
+            placement[name] = {
+                "cpu": system.driver.buffer_paddr(name),
+                "dev": dev_addr,
+            }
+    return placement

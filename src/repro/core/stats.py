@@ -1,0 +1,102 @@
+"""Statistics collection and benchmark report formatting.
+
+``collect_stats`` flattens every component's stat group into one dict
+(the moral equivalent of gem5's ``stats.txt``); ``format_table`` renders
+the aligned text tables the benchmark harness prints next to the paper's
+numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def collect_stats(system) -> Dict[str, float]:
+    """Flatten the stats of every SimObject reachable from the system."""
+    components = [
+        system.membus,
+        system.mem_ctrl,
+        system.llc,
+        system.l1d,
+        system.iocache,
+        system.cpu,
+        system.cpu_port,
+        system.fabric,
+        system.fabric.up,
+        system.fabric.down,
+        system.host_bridge,
+        system.wrapper.systolic,
+        system.wrapper.local_buffer,
+        system.wrapper.dma,
+        system.wrapper.controller,
+        system.wrapper.regs,
+        system.driver,
+    ]
+    if system.smmu is not None:
+        components += [system.smmu, system.smmu.walker]
+    if system.devmem is not None:
+        components.append(system.devmem)
+
+    flat: Dict[str, float] = {}
+    for component in components:
+        for key, value in component.stats.flatten():
+            flat[key] = value
+    if system.smmu is not None:
+        flat.update(system.smmu.utlb.stat_dict())
+        flat.update(system.smmu.tlb.stat_dict())
+    return flat
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned text table."""
+    cells: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def write_csv(path: str, headers: Sequence[str],
+              rows: Sequence[Sequence[object]]) -> None:
+    """Write a result table as CSV (benchmark artifact export)."""
+    import csv
+
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+
+
+def stats_to_csv(path: str, flat_stats: Dict[str, float]) -> None:
+    """Dump a flattened stat snapshot (``collect_stats``) as CSV."""
+    write_csv(
+        path, ["stat", "value"],
+        [(key, flat_stats[key]) for key in sorted(flat_stats)],
+    )

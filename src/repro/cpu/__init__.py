@@ -1,0 +1,22 @@
+"""Host CPU model and non-GEMM kernel execution.
+
+The paper's ARM CPU (Table II) runs everything the accelerator does not:
+the non-GEMM operators of the transformer (LayerNorm, Softmax, GELU,
+residual adds) plus driver work.  :class:`~repro.cpu.cpu.TimingCPU` is an
+in-order core with a limited memory-level-parallelism window issuing
+transactions through its cache hierarchy; :mod:`repro.cpu.nongemm` maps
+operator types onto per-element compute costs and memory streams.
+
+The Fig. 8 result (DevMem hurting non-GEMM by up to ~5x) emerges here:
+when tensors live in device memory, every CPU miss crosses the PCIe
+hierarchy instead of the local memory bus.
+"""
+
+from repro.cpu.cpu import TimingCPU
+from repro.cpu.nongemm import (
+    NONGEMM_COSTS,
+    NonGemmKernel,
+    kernel_for_op,
+)
+
+__all__ = ["TimingCPU", "NonGemmKernel", "NONGEMM_COSTS", "kernel_for_op"]

@@ -1,0 +1,15 @@
+"""Multi-channel DMA engine.
+
+The accelerator controller of Fig. 1 contains a DMA block that moves data
+between host memory and the accelerator without CPU involvement.  The model
+provides scatter-gather descriptors (:mod:`repro.dma.descriptor`) and a
+multi-channel, tag-limited engine (:mod:`repro.dma.engine`): descriptors
+are split into read/write request transactions, channels share the PCIe
+tag pool, and per-request packet sizes are programmable -- the knob the
+paper's packet-size experiment (Fig. 4) sweeps.
+"""
+
+from repro.dma.descriptor import DMADescriptor, DMADirection
+from repro.dma.engine import DMAEngine
+
+__all__ = ["DMADescriptor", "DMADirection", "DMAEngine"]

@@ -1,0 +1,62 @@
+"""DMA descriptors.
+
+A descriptor names one contiguous transfer between host memory (by
+accelerator-visible virtual address) and the device.  Scatter-gather lists
+are plain sequences of descriptors submitted to the same channel.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class DMADirection(enum.Enum):
+    """Transfer direction from the device's point of view."""
+
+    HOST_TO_DEVICE = "h2d"  # read from host memory
+    DEVICE_TO_HOST = "d2h"  # write to host memory
+
+    @property
+    def is_read(self) -> bool:
+        return self is DMADirection.HOST_TO_DEVICE
+
+
+@dataclass
+class DMADescriptor:
+    """One contiguous DMA transfer.
+
+    Parameters
+    ----------
+    addr:
+        Host-side start address (virtual; translated by the SMMU en route).
+    size:
+        Transfer length in bytes.
+    direction:
+        :class:`DMADirection`.
+    stream:
+        Label for locality/stats analysis ("A", "B", "C", ...).
+    packet_size:
+        On-wire request size for this transfer; None uses the link default.
+    """
+
+    addr: int
+    size: int
+    direction: DMADirection
+    stream: str = ""
+    packet_size: Optional[int] = None
+    #: Filled by the engine: completion tick.
+    completed_at: Optional[int] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"descriptor size must be positive, got {self.size}")
+        if self.addr < 0:
+            raise ValueError(f"descriptor address must be non-negative, got {self.addr}")
+        if self.packet_size is not None and self.packet_size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.packet_size}")
+
+    @property
+    def is_read(self) -> bool:
+        return self.direction.is_read

@@ -1,0 +1,203 @@
+"""Multi-channel, tag-limited DMA engine.
+
+The engine owns ``num_channels`` independent descriptor queues.  Each
+descriptor is cut into request-sized transactions (``segment_bytes``, or
+the descriptor's packet size if smaller requests were programmed); segments
+from busy channels are issued round-robin while free tags remain -- the
+tag pool models the PCIe non-posted credit limit and is what bounds the
+bandwidth-delay product of the link.
+
+The engine is transport-agnostic: it sends transactions to whatever
+:class:`~repro.sim.ports.TargetPort` it was given (the PCIe fabric adapter
+in host-memory modes, the device memory controller in DevMem mode).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.dma.descriptor import DMADescriptor
+from repro.sim.eventq import Simulator
+from repro.sim.ports import TargetPort
+from repro.sim.simobject import SimObject
+from repro.sim.transaction import MemCmd, Transaction
+
+#: Called with the finished descriptor.
+DescriptorDoneFn = Callable[[DMADescriptor], None]
+
+
+class _ChannelState:
+    """Per-channel queue of (descriptor, remaining segments) work."""
+
+    __slots__ = ("queue",)
+
+    def __init__(self) -> None:
+        self.queue: Deque[dict] = deque()
+
+
+class DMAEngine(SimObject):
+    """Descriptor-driven mover between host memory and the device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        target: TargetPort,
+        num_channels: int = 4,
+        max_outstanding: int = 32,
+        segment_bytes: int = 4096,
+    ) -> None:
+        super().__init__(sim, name)
+        if num_channels <= 0:
+            raise ValueError(f"need at least one channel, got {num_channels}")
+        if max_outstanding <= 0:
+            raise ValueError(f"need at least one tag, got {max_outstanding}")
+        if segment_bytes <= 0:
+            raise ValueError(f"segment size must be positive, got {segment_bytes}")
+        self.target = target
+        self.num_channels = num_channels
+        self.max_outstanding = max_outstanding
+        self.segment_bytes = segment_bytes
+
+        self._channels: List[_ChannelState] = [
+            _ChannelState() for _ in range(num_channels)
+        ]
+        self._rr_next = 0
+        self._tags_in_use = 0
+
+        self._descriptors = self.stats.scalar("descriptors", "descriptors completed")
+        self._segments = self.stats.scalar("segments", "request transactions issued")
+        self._bytes_read = self.stats.scalar("bytes_read", "host-to-device bytes")
+        self._bytes_written = self.stats.scalar("bytes_written", "device-to-host bytes")
+        self._latency = self.stats.histogram("segment_ticks", "per-segment latency")
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        descriptor: DMADescriptor,
+        on_complete: Optional[DescriptorDoneFn] = None,
+        channel: Optional[int] = None,
+    ) -> None:
+        """Queue a descriptor; ``on_complete(descriptor)`` fires when done.
+
+        Without an explicit ``channel`` descriptors spread round-robin.
+        """
+        if channel is None:
+            channel = self._rr_next
+            self._rr_next = (self._rr_next + 1) % self.num_channels
+        elif not 0 <= channel < self.num_channels:
+            raise ValueError(
+                f"channel {channel} out of range 0..{self.num_channels - 1}"
+            )
+        work = {
+            "descriptor": descriptor,
+            "next_offset": 0,
+            "outstanding": 0,
+            "on_complete": on_complete,
+        }
+        self._channels[channel].queue.append(work)
+        self._pump()
+
+    def submit_list(
+        self,
+        descriptors: List[DMADescriptor],
+        on_all_complete: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Submit a scatter-gather list; callback after the last finishes."""
+        remaining = {"n": len(descriptors)}
+        if not descriptors:
+            if on_all_complete is not None:
+                on_all_complete()
+            return
+
+        def one_done(_descriptor: DMADescriptor) -> None:
+            remaining["n"] -= 1
+            if remaining["n"] == 0 and on_all_complete is not None:
+                on_all_complete()
+
+        for descriptor in descriptors:
+            self.submit(descriptor, one_done)
+
+    # ------------------------------------------------------------------
+    # Issue loop
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Issue segments round-robin across channels while tags remain."""
+        while self._tags_in_use < self.max_outstanding:
+            work = self._next_work()
+            if work is None:
+                return
+            self._issue_segment(work)
+
+    def _next_work(self) -> Optional[dict]:
+        """Head-of-queue work of the next busy channel (round-robin)."""
+        for step in range(self.num_channels):
+            index = (self._rr_next + step) % self.num_channels
+            queue = self._channels[index].queue
+            if queue and queue[0]["next_offset"] < queue[0]["descriptor"].size:
+                self._rr_next = (index + 1) % self.num_channels
+                return queue[0]
+        return None
+
+    def _issue_segment(self, work: dict) -> None:
+        descriptor: DMADescriptor = work["descriptor"]
+        # Segment size is the read-request granularity (PCIe max read
+        # request); the on-wire packet size rides on the transaction and
+        # is applied by the link's TLP model.
+        seg_size = self.segment_bytes
+        offset = work["next_offset"]
+        size = min(seg_size, descriptor.size - offset)
+        work["next_offset"] = offset + size
+        work["outstanding"] += 1
+
+        cmd = MemCmd.READ if descriptor.is_read else MemCmd.WRITE
+        txn = Transaction(cmd, descriptor.addr + offset, size, source=self.name)
+        txn.stream = descriptor.stream
+        txn.packet_size = descriptor.packet_size
+        txn.issue_tick = self.now
+        self._tags_in_use += 1
+        self._segments.inc()
+        if descriptor.is_read:
+            self._bytes_read.inc(size)
+        else:
+            self._bytes_written.inc(size)
+
+        if work["next_offset"] >= descriptor.size:
+            # Fully issued: retire from its channel queue.
+            for channel in self._channels:
+                if channel.queue and channel.queue[0] is work:
+                    channel.queue.popleft()
+                    break
+
+        def segment_done(done_txn: Transaction) -> None:
+            done_txn.complete_tick = self.now
+            self._latency.sample(done_txn.complete_tick - done_txn.issue_tick)
+            self._tags_in_use -= 1
+            work["outstanding"] -= 1
+            if (
+                work["next_offset"] >= descriptor.size
+                and work["outstanding"] == 0
+            ):
+                descriptor.completed_at = self.now
+                self._descriptors.inc()
+                if work["on_complete"] is not None:
+                    work["on_complete"](descriptor)
+            self._pump()
+
+        self.target.send(txn, segment_done)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def tags_in_use(self) -> int:
+        return self._tags_in_use
+
+    @property
+    def idle(self) -> bool:
+        return self._tags_in_use == 0 and all(
+            not channel.queue for channel in self._channels
+        )

@@ -1,0 +1,99 @@
+"""CXL-style coherent interconnect (framework extension).
+
+The paper's conclusion motivates exploring *standard interconnects* for
+next-generation accelerators; CXL is the obvious successor to plain PCIe
+for memory-semantic traffic.  This module models a CXL.mem-class link as
+a configuration of the generic channel machinery:
+
+* rides a PCIe Gen-5/6 PHY (same lanes/rates/encoding),
+* **flit-based**: fixed 68-byte flits carrying a 64-byte payload slot --
+  4 bytes of overhead per 64-byte line, with no large-packet
+  store-and-forward penalty (flits are small and fixed),
+* **no switch hop**: a device port directly attached to the host bridge
+  with port latencies an order of magnitude below the PCIe root
+  complex + switch path (~25 ns vs ~200 ns),
+* requests are per-cacheline (M2S MemRd), so header-only request trains
+  scale with the line count, not the packet-size knob.
+
+What this buys, measurably (``benchmarks/bench_ext_cxl.py``): streaming
+GEMM performance comparable to a fat PCIe link, but a several-fold
+reduction of the Fig. 8 NUMA penalty -- the CPU's uncached line accesses
+to device memory are latency-bound, and CXL's short pipeline is exactly
+what shortens them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.interconnect.pcie.fabric import PCIeFabric
+from repro.interconnect.pcie.link import PCIeConfig
+from repro.interconnect.pcie.tlp import TLPParams
+from repro.sim.eventq import Simulator
+from repro.sim.ports import TargetPort
+from repro.sim.ticks import ns
+
+#: CXL flit geometry: 64-byte slot + 4 bytes of CRC/header amortized.
+CXL_FLIT_PAYLOAD = 64
+CXL_FLIT_OVERHEAD = 4
+
+#: Port traversal latency per direction (device port or host bridge).
+CXL_PORT_LATENCY = ns(25)
+#: Per-flit processing occupancy at a port.
+CXL_PORT_OCCUPANCY = ns(1)
+
+
+def cxl_link_config(
+    lanes: int = 8,
+    lane_gbps: float = 32.0,
+    encoding: Tuple[int, int] = (242, 256),
+    max_tags: int = 64,
+) -> PCIeConfig:
+    """Link configuration for a CXL-style port on a Gen-5/6 PHY."""
+    return PCIeConfig(
+        lanes=lanes,
+        lane_gbps=lane_gbps,
+        encoding=encoding,
+        tlp=TLPParams(
+            max_payload=CXL_FLIT_PAYLOAD, header_bytes=CXL_FLIT_OVERHEAD
+        ),
+        rc_latency=CXL_PORT_LATENCY,
+        switch_latency=0,
+        rc_tlp_occupancy=CXL_PORT_OCCUPANCY,
+        switch_tlp_occupancy=0,
+        # Flits never exceed the hop buffer: no store-and-forward stall.
+        hop_buffer_bytes=1 << 20,
+        max_tags=max_tags,
+    )
+
+
+def cxl_hops(config: PCIeConfig) -> List[Tuple[int, int]]:
+    """The single port hop of a directly-attached CXL device."""
+    return [(config.rc_latency, config.rc_tlp_occupancy)]
+
+
+class CXLFabric(PCIeFabric):
+    """A device<->host fabric with CXL link characteristics.
+
+    Drop-in replacement for :class:`PCIeFabric`: same ``device_read`` /
+    ``device_write`` / ``host_access`` protocol, different physics.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        config: Optional[PCIeConfig] = None,
+        host_target: Optional[TargetPort] = None,
+    ) -> None:
+        config = config or cxl_link_config()
+        super().__init__(
+            sim, name, config, host_target, hops=cxl_hops(config)
+        )
+
+    def describe(self) -> str:
+        return (
+            f"CXL x{self.config.lanes} @ {self.config.lane_gbps} Gb/s/lane "
+            f"({self.config.effective_bytes_per_sec / 1e9:.1f} GB/s, "
+            f"68B flits, {self.config.rc_latency / 1000:.0f} ns port)"
+        )

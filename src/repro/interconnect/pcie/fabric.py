@@ -1,0 +1,133 @@
+"""PCIe fabric: request/completion round trips over the channel pair.
+
+The fabric owns the two directional channels and implements the PCIe
+transaction protocol as the device and host see it:
+
+* **device read** (DMA from host memory): a header-only memory-read request
+  TLP travels up (device -> switch -> root complex), the host memory system
+  services it, and completion TLPs carry the data back down.
+* **device write** (DMA to host memory): posted write TLPs carry the
+  payload up; the transaction completes when the host memory system accepts
+  it (no completion TLP, per the spec).
+* **host MMIO**: the CPU reaches device registers / device memory through
+  the down channel, with the mirror-image round trip for reads.
+
+The requester-side tag limit (``PCIeConfig.max_tags``) is enforced by the
+DMA engine, which is what bounds outstanding round trips and produces the
+bandwidth-delay behaviour discussed in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.interconnect.pcie.link import PCIeChannel, PCIeConfig
+from repro.sim.eventq import Simulator
+from repro.sim.ports import CompletionFn, TargetPort
+from repro.sim.simobject import SimObject
+from repro.sim.transaction import Transaction
+
+
+class PCIeFabric(SimObject):
+    """The device's window onto host memory and the host's onto the device.
+
+    Parameters
+    ----------
+    config:
+        Link/TLP/latency configuration.
+    host_target:
+        Host-side memory system entry point (IOCache or MemBus) used to
+        service device-originated DMA.  May be set after construction via
+        :meth:`set_host_target` to break construction cycles.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        config: PCIeConfig,
+        host_target: Optional[TargetPort] = None,
+        hops=None,
+    ) -> None:
+        super().__init__(sim, name)
+        self.config = config
+        self.up = PCIeChannel(sim, f"{name}.up", config, hops=hops)
+        self.down = PCIeChannel(sim, f"{name}.down", config, hops=hops)
+        self.host_target = host_target
+
+        self._dev_reads = self.stats.scalar("device_reads", "device-initiated reads")
+        self._dev_writes = self.stats.scalar("device_writes", "device-initiated writes")
+        self._mmio_ops = self.stats.scalar("mmio_ops", "host-initiated accesses")
+
+    def set_host_target(self, target: TargetPort) -> None:
+        self.host_target = target
+
+    # ------------------------------------------------------------------
+    # Device-initiated DMA
+    # ------------------------------------------------------------------
+    def device_read(self, txn: Transaction, on_complete: CompletionFn) -> None:
+        """DMA read from host memory (request up, data down)."""
+        if self.host_target is None:
+            raise RuntimeError(f"{self.name}: host target not connected")
+        self._dev_reads.inc()
+
+        def request_arrived(_txn: Transaction) -> None:
+            self.host_target.send(txn, host_done)
+
+        def host_done(_txn: Transaction) -> None:
+            self.down.deliver(txn, txn.size, on_complete)
+
+        # Memory-read request TLPs are header-only; one per packet-size
+        # chunk of the requested range.
+        packet = txn.packet_size or self.config.tlp.max_payload
+        self.up.deliver(
+            txn, 0, request_arrived, force_tlps=txn.num_packets(packet)
+        )
+
+    def device_write(self, txn: Transaction, on_complete: CompletionFn) -> None:
+        """Posted DMA write to host memory (payload up, no completion TLP)."""
+        if self.host_target is None:
+            raise RuntimeError(f"{self.name}: host target not connected")
+        self._dev_writes.inc()
+
+        def payload_arrived(_txn: Transaction) -> None:
+            self.host_target.send(txn, on_complete)
+
+        self.up.deliver(txn, txn.size, payload_arrived)
+
+    def device_access(self, txn: Transaction, on_complete: CompletionFn) -> None:
+        """Dispatch a device-initiated transaction by command."""
+        if txn.is_read:
+            self.device_read(txn, on_complete)
+        else:
+            self.device_write(txn, on_complete)
+
+    # ------------------------------------------------------------------
+    # Host-initiated MMIO / device-memory access
+    # ------------------------------------------------------------------
+    def host_access(
+        self, txn: Transaction, device_target: TargetPort, on_complete: CompletionFn
+    ) -> None:
+        """CPU access to a device BAR (register file or device memory)."""
+        self._mmio_ops.inc()
+        if txn.is_read:
+
+            def request_arrived(_txn: Transaction) -> None:
+                device_target.send(txn, device_done)
+
+            def device_done(_txn: Transaction) -> None:
+                self.up.deliver(txn, txn.size, on_complete)
+
+            self.down.deliver(txn, 0, request_arrived)
+        else:
+
+            def payload_arrived(_txn: Transaction) -> None:
+                device_target.send(txn, on_complete)
+
+            self.down.deliver(txn, txn.size, payload_arrived)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        return self.config.describe()

@@ -1,0 +1,219 @@
+"""PCIe link configuration and the directional channel pipeline.
+
+A :class:`PCIeChannel` is one direction of the device<->host path of
+Fig. 1: PHY serialization over the lanes, then the switch, then the root
+complex (or the reverse).  Each hop is store-and-forward -- it must receive
+a full TLP before forwarding it -- and has a fixed traversal latency
+(Table II: 150 ns root complex, 50 ns switch) plus a per-TLP processing
+occupancy that bounds its packet rate.
+
+Timing per transaction (a train of ``n`` TLPs):
+
+* the wire serializes ``payload + n * header`` bytes at the effective
+  bandwidth (lanes x lane rate x encoding efficiency),
+* each hop delays the train by its latency plus one TLP serialization
+  (store-and-forward fill),
+* hop processing occupancies bound the sustainable TLP rate, so a slow
+  hop, not the wire, can be the bottleneck for small TLPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.interconnect.pcie.tlp import TLPParams
+from repro.sim.eventq import Simulator
+from repro.sim.simobject import SimObject
+from repro.sim.transaction import Transaction
+from repro.sim.ticks import ns, serialization_ticks
+
+#: Per-generation (line rate Gb/s per lane, encoding numerator/denominator).
+PCIE_GENERATIONS: Dict[int, Tuple[float, Tuple[int, int]]] = {
+    1: (2.5, (8, 10)),
+    2: (5.0, (8, 10)),
+    3: (8.0, (128, 130)),
+    4: (16.0, (128, 130)),
+    5: (32.0, (128, 130)),
+    6: (64.0, (242, 256)),
+}
+
+
+@dataclass(frozen=True)
+class PCIeConfig:
+    """Full configuration of a PCIe hierarchy.
+
+    Defaults reproduce Table II of the paper: a Gen-2-style link with four
+    lanes and 4 Gb/s effective per-lane rate (5 GT/s line rate with 8b/10b
+    encoding), a 150 ns root complex and a 50 ns switch.
+    """
+
+    lanes: int = 4
+    lane_gbps: float = 5.0
+    encoding: Tuple[int, int] = (8, 10)
+    tlp: TLPParams = field(default_factory=TLPParams)
+    rc_latency: int = ns(150)
+    switch_latency: int = ns(50)
+    #: Per-TLP processing occupancy (packet-rate bound) at each component.
+    rc_tlp_occupancy: int = ns(4)
+    switch_tlp_occupancy: int = ns(2)
+    #: Receive buffer per store-and-forward hop.  A TLP larger than half
+    #: the buffer cannot overlap reception with transmission, so oversized
+    #: packets stall the pipeline at each component (the paper's Fig. 4
+    #: right branch).
+    hop_buffer_bytes: int = 5632
+    #: Maximum outstanding non-posted (read) requests a device may keep
+    #: in flight; enforced by the requester (DMA engine).
+    max_tags: int = 32
+
+    def __post_init__(self) -> None:
+        if self.lanes not in (1, 2, 4, 8, 16, 32):
+            raise ValueError(f"invalid lane count {self.lanes}")
+        if self.lane_gbps <= 0:
+            raise ValueError(f"lane rate must be positive, got {self.lane_gbps}")
+        num, den = self.encoding
+        if not 0 < num <= den:
+            raise ValueError(f"invalid encoding {self.encoding}")
+
+    @classmethod
+    def from_generation(
+        cls, gen: int, lanes: int = 4, **overrides
+    ) -> "PCIeConfig":
+        """Build a config from a PCIe generation preset."""
+        try:
+            lane_gbps, encoding = PCIE_GENERATIONS[gen]
+        except KeyError:
+            raise ValueError(
+                f"unknown PCIe generation {gen}; known: {sorted(PCIE_GENERATIONS)}"
+            ) from None
+        return cls(lanes=lanes, lane_gbps=lane_gbps, encoding=encoding, **overrides)
+
+    @property
+    def raw_bytes_per_sec(self) -> int:
+        """Line-rate bandwidth across all lanes, before encoding."""
+        return round(self.lanes * self.lane_gbps * 10**9 / 8)
+
+    @property
+    def effective_bytes_per_sec(self) -> int:
+        """Usable bandwidth after encoding overhead."""
+        num, den = self.encoding
+        return round(self.raw_bytes_per_sec * num / den)
+
+    def describe(self) -> str:
+        """One-line summary used by benchmark reports."""
+        return (
+            f"PCIe x{self.lanes} @ {self.lane_gbps} Gb/s/lane "
+            f"({self.effective_bytes_per_sec / 1e9:.1f} GB/s effective, "
+            f"MPS {self.tlp.max_payload} B)"
+        )
+
+
+class PCIeChannel(SimObject):
+    """One direction of the PCIe hierarchy (a train of hops).
+
+    ``hops`` is a list of ``(latency, per_tlp_occupancy)`` pairs in
+    traversal order; the standard device->host path is switch then root
+    complex.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        config: PCIeConfig,
+        hops: List[Tuple[int, int]] | None = None,
+    ) -> None:
+        super().__init__(sim, name)
+        self.config = config
+        if hops is None:
+            hops = [
+                (config.switch_latency, config.switch_tlp_occupancy),
+                (config.rc_latency, config.rc_tlp_occupancy),
+            ]
+        self.hops = hops
+        self._total_hop_latency = sum(latency for latency, _ in hops)
+        self._max_occupancy = max(
+            (occupancy for _, occupancy in hops), default=0
+        )
+        self._wire_free_at = 0
+        self._last_arrival = 0
+
+        self._tlps = self.stats.scalar("tlps", "TLPs carried")
+        self._payload_bytes = self.stats.scalar("payload_bytes", "payload carried")
+        self._wire_byte_stat = self.stats.scalar(
+            "wire_bytes", "bytes on the wire incl. headers"
+        )
+        self._busy_ticks = self.stats.scalar("busy_ticks", "wire occupancy")
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def deliver(
+        self,
+        txn: Transaction,
+        payload_bytes: int,
+        on_arrive,
+        force_tlps: int = 0,
+    ) -> None:
+        """Carry ``payload_bytes`` of ``txn`` and fire ``on_arrive(txn)``.
+
+        ``payload_bytes`` may be zero (header-only read request) or differ
+        from ``txn.size`` (a fabric sends the request header up but the
+        completion payload down).  ``force_tlps`` overrides the TLP count
+        for header-only trains: a read of N bytes issues one request TLP
+        per packet-size chunk, not a single request.
+        """
+        tlp = self._tlp_params(txn)
+        bandwidth = self.config.effective_bytes_per_sec
+        n_tlps = max(tlp.num_tlps(payload_bytes), force_tlps)
+        wire_bytes = max(0, payload_bytes) + n_tlps * tlp.header_bytes
+        tlp_wire_ticks = serialization_ticks(
+            tlp.tlp_wire_bytes(payload_bytes), bandwidth
+        )
+
+        # Wire occupancy: serialization, or the packet-rate bound of the
+        # slowest hop if it is slower than the wire.  TLPs bigger than half
+        # a hop's receive buffer serialize store-and-forward alternation
+        # into the steady state (credit stall), inflating occupancy.
+        serialize = serialization_ticks(wire_bytes, bandwidth)
+        per_tlp_payload = min(max(payload_bytes, 0), tlp.max_payload)
+        buffer_bytes = self.config.hop_buffer_bytes
+        if 2 * per_tlp_payload > buffer_bytes:
+            serialize = serialize * 2 * per_tlp_payload // buffer_bytes
+        occupancy = max(serialize, n_tlps * self._max_occupancy)
+
+        start = max(self.now, self._wire_free_at)
+        self._wire_free_at = start + occupancy
+
+        # Store-and-forward: each hop adds its latency plus one TLP
+        # serialization before the head of the train moves on.  Arrivals
+        # are FIFO: PCIe ordering rules forbid overtaking within a
+        # virtual channel, so a short train never passes a long one.
+        pipeline_fill = self._total_hop_latency + len(self.hops) * tlp_wire_ticks
+        arrival = max(start + occupancy + pipeline_fill, self._last_arrival)
+        self._last_arrival = arrival
+
+        self._tlps.inc(n_tlps)
+        self._payload_bytes.inc(max(0, payload_bytes))
+        self._wire_byte_stat.inc(wire_bytes)
+        self._busy_ticks.inc(occupancy)
+        self.schedule_at(arrival, lambda: on_arrive(txn))
+
+    def _tlp_params(self, txn: Transaction) -> TLPParams:
+        """Packetization for this transaction (honours txn.packet_size)."""
+        if txn.packet_size is not None and txn.packet_size != self.config.tlp.max_payload:
+            return TLPParams(
+                max_payload=txn.packet_size,
+                header_bytes=self.config.tlp.header_bytes,
+            )
+        return self.config.tlp
+
+    @property
+    def backlog_ticks(self) -> int:
+        """How far in the future the wire is already committed."""
+        return max(0, self._wire_free_at - self.now)
+
+    @property
+    def utilization_window(self) -> float:
+        """Busy fraction so far (for reports)."""
+        return self._busy_ticks.value / self.now if self.now else 0.0

@@ -1,0 +1,13 @@
+"""Bank-state DRAM timing model (Ramulator2 / DRAMsim3 style).
+
+The controller models, per channel: a shared data bus, per-bank row-buffer
+state with activate/precharge/CAS timing (tRCD / tRP / tCL / tRAS / tCCD),
+and periodic refresh (tREFI / tRFC).  Technology presets corresponding to
+Table III of the paper (plus the Fig. 5 extras) live in
+:mod:`repro.memory.dram.devices`.
+"""
+
+from repro.memory.dram.timings import DRAMTimings
+from repro.memory.dram.controller import DRAMController
+
+__all__ = ["DRAMTimings", "DRAMController"]

@@ -1,0 +1,96 @@
+"""DRAM device timing and geometry parameters.
+
+All time parameters are expressed in nanoseconds (converted to ticks by the
+controller); geometry follows the usual channel / rank / bank / row / column
+hierarchy.  The parameter set is the subset of a full DDR datasheet that
+first-order bank-state models (Ramulator's ``DDR*`` presets, gem5's
+``DRAMInterface``) actually exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DRAMTimings:
+    """Timing and geometry for one DRAM technology.
+
+    Parameters mirror datasheet names:
+
+    * ``data_rate_mts`` -- transfers per second per pin (MT/s).
+    * ``data_width_bits`` -- channel data bus width.
+    * ``burst_length`` -- transfers per column command (BL).
+    * ``t_cl/t_rcd/t_rp/t_ras/t_rfc/t_refi`` -- classic core timings (ns).
+    * ``row_buffer_bytes`` -- page size per bank.
+    """
+
+    name: str
+    data_rate_mts: int
+    channels: int
+    data_width_bits: int
+    burst_length: int
+    banks: int
+    ranks: int = 1
+    row_buffer_bytes: int = 8192
+    t_cl: float = 14.0
+    t_rcd: float = 14.0
+    t_rp: float = 14.0
+    t_ras: float = 33.0
+    t_rfc: float = 350.0
+    t_refi: float = 7800.0
+    #: Static controller pipeline latency (queueing/decode), ns.
+    t_ctrl: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.data_rate_mts <= 0:
+            raise ValueError("data rate must be positive")
+        if self.channels <= 0:
+            raise ValueError("need at least one channel")
+        if self.data_width_bits % 8:
+            raise ValueError("data width must be a whole number of bytes")
+        if self.burst_length <= 0 or self.banks <= 0:
+            raise ValueError("burst length and banks must be positive")
+        if self.row_buffer_bytes <= 0 or self.row_buffer_bytes & (self.row_buffer_bytes - 1):
+            raise ValueError("row buffer size must be a power of two")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def t_ck_ns(self) -> float:
+        """Clock period in ns (DDR: two transfers per clock)."""
+        return 2000.0 / self.data_rate_mts
+
+    @property
+    def burst_bytes(self) -> int:
+        """Bytes moved by one burst (column command) on one channel."""
+        return self.data_width_bits // 8 * self.burst_length
+
+    @property
+    def t_burst_ns(self) -> float:
+        """Data-bus occupancy of one burst in ns."""
+        return self.burst_length / 2 * self.t_ck_ns
+
+    @property
+    def channel_bandwidth(self) -> int:
+        """Peak bandwidth of one channel in bytes per second."""
+        return self.data_rate_mts * 10**6 * (self.data_width_bits // 8)
+
+    @property
+    def total_bandwidth(self) -> int:
+        """Peak bandwidth across all channels in bytes per second."""
+        return self.channel_bandwidth * self.channels
+
+    @property
+    def t_rc_ns(self) -> float:
+        """Row cycle time (activate-to-activate, same bank)."""
+        return self.t_ras + self.t_rp
+
+    def describe(self) -> str:
+        """One-line summary used by benchmark reports."""
+        return (
+            f"{self.name}: {self.channels}ch x {self.data_width_bits}b "
+            f"@ {self.data_rate_mts} MT/s = "
+            f"{self.total_bandwidth / 1e9:.1f} GB/s"
+        )

@@ -1,0 +1,191 @@
+"""Event queue and simulation driver.
+
+The :class:`Simulator` owns a single global event queue ordered by
+``(tick, priority, sequence)``.  Ties at the same tick are broken first by an
+explicit priority (lower runs earlier) and then by insertion order, which
+makes runs fully deterministic -- a property the regression tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+#: Default event priority.  Lower values run first within a tick.
+PRIORITY_DEFAULT = 100
+#: Priority for bookkeeping events that must observe a settled state.
+PRIORITY_LATE = 1000
+#: Priority for events that must run before ordinary work at a tick.
+PRIORITY_EARLY = 10
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(when, priority, seq)`` so they can live directly in
+    a heap.  ``cancelled`` events stay in the heap but are skipped when they
+    surface (lazy deletion), which keeps cancellation O(1).
+    """
+
+    when: int
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(
+        self,
+        when: int,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_DEFAULT,
+        name: str = "",
+    ) -> Event:
+        """Insert a callback to run at tick ``when`` and return its handle."""
+        event = Event(when, priority, self._seq, callback, name)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or None if empty."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_tick(self) -> Optional[int]:
+        """Tick of the next live event without removing it, or None."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].when if heap else None
+
+
+class Simulator:
+    """Drives the event queue and tracks the current tick.
+
+    A single Simulator instance is shared by every :class:`SimObject` in a
+    system.  Typical use::
+
+        sim = Simulator()
+        sim.schedule(ns(10), lambda: print("hello at 10ns"))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now: int = 0
+        self._running = False
+        self.events_executed: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: int,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_DEFAULT,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` ticks from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.queue.push(self.now + delay, callback, priority, name)
+
+    def schedule_at(
+        self,
+        when: int,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_DEFAULT,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run at absolute tick ``when``."""
+        if when < self.now:
+            raise ValueError(
+                f"cannot schedule at tick {when}, current tick is {self.now}"
+            )
+        return self.queue.push(when, callback, priority, name)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains (or limits hit).
+
+        Parameters
+        ----------
+        until:
+            Stop before executing events scheduled after this tick.
+        max_events:
+            Safety valve for tests; stop after this many events.
+
+        Returns the tick of the last executed event (i.e. ``self.now``).
+        """
+        self._running = True
+        executed = 0
+        queue = self.queue
+        try:
+            while True:
+                if until is not None:
+                    next_tick = queue.peek_tick()
+                    if next_tick is None or next_tick > until:
+                        break
+                event = queue.pop()
+                if event is None:
+                    break
+                if event.when < self.now:
+                    raise RuntimeError(
+                        f"event {event.name!r} scheduled at {event.when} "
+                        f"but time already at {self.now}"
+                    )
+                self.now = event.when
+                event.callback()
+                executed += 1
+                self.events_executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self._running = False
+        return self.now
+
+    def run_until_idle(self, quiesce: Callable[[], bool], max_events: int = 10**9) -> int:
+        """Run until ``quiesce()`` returns True, checking after each event."""
+        executed = 0
+        queue = self.queue
+        while executed < max_events:
+            if quiesce():
+                break
+            event = queue.pop()
+            if event is None:
+                break
+            self.now = event.when
+            event.callback()
+            executed += 1
+            self.events_executed += 1
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled)."""
+        return len(self.queue)

@@ -1,0 +1,75 @@
+"""SimObject and ClockedObject base classes.
+
+Every simulated component derives from :class:`SimObject`, which binds it to
+a :class:`~repro.sim.eventq.Simulator`, gives it a hierarchical name and a
+stats group, and provides scheduling shorthand.  :class:`ClockedObject` adds
+a clock domain (period in ticks) with cycle arithmetic, mirroring gem5's
+class of the same name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.eventq import Event, Simulator
+from repro.sim.statistics import StatGroup
+from repro.sim.ticks import freq_to_period
+
+
+class SimObject:
+    """Base class for all simulated components."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.stats = StatGroup(name)
+
+    # Scheduling shorthand -------------------------------------------------
+    def schedule(
+        self, delay: int, callback: Callable[[], None], priority: int = 100
+    ) -> Event:
+        """Schedule ``callback`` after ``delay`` ticks."""
+        return self.sim.schedule(delay, callback, priority, name=self.name)
+
+    def schedule_at(
+        self, when: int, callback: Callable[[], None], priority: int = 100
+    ) -> Event:
+        """Schedule ``callback`` at absolute tick ``when``."""
+        return self.sim.schedule_at(when, callback, priority, name=self.name)
+
+    @property
+    def now(self) -> int:
+        """Current simulation tick."""
+        return self.sim.now
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class ClockedObject(SimObject):
+    """A SimObject in a clock domain.
+
+    Parameters
+    ----------
+    freq_hz:
+        Clock frequency in Hz; the period is stored in ticks.
+    """
+
+    def __init__(self, sim: Simulator, name: str, freq_hz: float) -> None:
+        super().__init__(sim, name)
+        self.freq_hz = freq_hz
+        self.clock_period = freq_to_period(freq_hz)
+
+    def cycles(self, n: float) -> int:
+        """Duration of ``n`` clock cycles in ticks (rounded up)."""
+        return -(-int(n * self.clock_period) // 1)
+
+    def ticks_to_cycles(self, ticks: int) -> float:
+        """Convert a tick duration into (fractional) cycles of this clock."""
+        return ticks / self.clock_period
+
+    def next_edge(self, from_tick: Optional[int] = None) -> int:
+        """First clock edge at or after ``from_tick`` (default: now)."""
+        tick = self.sim.now if from_tick is None else from_tick
+        period = self.clock_period
+        return -(-tick // period) * period

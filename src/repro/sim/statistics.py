@@ -1,0 +1,133 @@
+"""Statistics primitives (scalars, histograms, groups).
+
+Every :class:`~repro.sim.simobject.SimObject` owns a :class:`StatGroup`;
+components register named statistics and the experiment runner flattens them
+into the report printed by the benchmark harness, mirroring gem5's
+``stats.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+
+class Scalar:
+    """A named accumulating counter."""
+
+    __slots__ = ("name", "desc", "value")
+
+    def __init__(self, name: str, desc: str = "") -> None:
+        self.name = name
+        self.desc = desc
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Scalar({self.name}={self.value})"
+
+
+class Histogram:
+    """A sample accumulator tracking count / sum / min / max.
+
+    Keeps moments rather than raw samples so memory stays bounded for the
+    tens of millions of samples the address-translation experiments record.
+    """
+
+    __slots__ = ("name", "desc", "count", "total", "sum_sq", "min", "max")
+
+    def __init__(self, name: str, desc: str = "") -> None:
+        self.name = name
+        self.desc = desc
+        self.reset()
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.sum_sq = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def sample(self, value: float, repeat: int = 1) -> None:
+        """Record ``value`` occurring ``repeat`` times."""
+        self.count += repeat
+        self.total += value * repeat
+        self.sum_sq += value * value * repeat
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        mean = self.mean
+        return max(0.0, self.sum_sq / self.count - mean * mean)
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean:.3f})"
+
+
+class StatGroup:
+    """A named collection of statistics belonging to one component."""
+
+    def __init__(self, owner_name: str) -> None:
+        self.owner_name = owner_name
+        self._stats: Dict[str, object] = {}
+
+    def scalar(self, name: str, desc: str = "") -> Scalar:
+        """Create (or fetch) a scalar counter."""
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = Scalar(name, desc)
+            self._stats[name] = stat
+        if not isinstance(stat, Scalar):
+            raise TypeError(f"stat {name!r} already exists with another type")
+        return stat
+
+    def histogram(self, name: str, desc: str = "") -> Histogram:
+        """Create (or fetch) a histogram."""
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = Histogram(name, desc)
+            self._stats[name] = stat
+        if not isinstance(stat, Histogram):
+            raise TypeError(f"stat {name!r} already exists with another type")
+        return stat
+
+    def __getitem__(self, name: str):
+        return self._stats[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats
+
+    def reset(self) -> None:
+        for stat in self._stats.values():
+            stat.reset()
+
+    def items(self) -> Iterator[Tuple[str, object]]:
+        return iter(self._stats.items())
+
+    def flatten(self) -> List[Tuple[str, float]]:
+        """Return (dotted-name, value) pairs for reporting."""
+        rows: List[Tuple[str, float]] = []
+        for name, stat in sorted(self._stats.items()):
+            prefix = f"{self.owner_name}.{name}"
+            if isinstance(stat, Scalar):
+                rows.append((prefix, stat.value))
+            elif isinstance(stat, Histogram):
+                rows.append((f"{prefix}.count", stat.count))
+                rows.append((f"{prefix}.mean", stat.mean))
+        return rows

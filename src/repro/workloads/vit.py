@@ -1,0 +1,188 @@
+"""Vision Transformer operator graphs.
+
+Builds the exact encoder structure of ViT-Base/Large/Huge (the paper's
+Section IV-B workloads: hidden dimensions 768/1024/1280 with 12 or 16
+attention heads) as an :class:`~repro.workloads.ops.OpGraph`:
+
+per encoder layer::
+
+    LayerNorm -> QKV projection (GEMM) -> QK^T per head (GEMM)
+    -> Softmax -> AV per head (GEMM) -> output projection (GEMM)
+    -> residual add -> LayerNorm -> MLP fc1 (GEMM) -> GELU
+    -> MLP fc2 (GEMM) -> residual add
+
+plus patch embedding in front and the classifier head behind.  GEMMs run
+on the accelerator, everything else on the CPU -- the split the paper's
+GEMM/non-GEMM analysis (Figs. 8 and 9) is built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.workloads.ops import GemmOp, NonGemmOp, OpGraph
+
+
+@dataclass(frozen=True)
+class ViTConfig:
+    """Architecture hyper-parameters of one ViT variant."""
+
+    name: str
+    hidden: int
+    layers: int
+    heads: int
+    mlp_ratio: int = 4
+    image_size: int = 224
+    patch_size: int = 16
+    in_channels: int = 3
+    num_classes: int = 1000
+    element_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.hidden % self.heads:
+            raise ValueError(
+                f"{self.name}: hidden {self.hidden} not divisible by "
+                f"heads {self.heads}"
+            )
+        if self.image_size % self.patch_size:
+            raise ValueError(
+                f"{self.name}: image {self.image_size} not divisible by "
+                f"patch {self.patch_size}"
+            )
+
+    @property
+    def seq_len(self) -> int:
+        """Patches plus the class token."""
+        patches = (self.image_size // self.patch_size) ** 2
+        return patches + 1
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.heads
+
+    @property
+    def mlp_hidden(self) -> int:
+        return self.hidden * self.mlp_ratio
+
+
+#: The paper's three evaluation models (Section IV-B).
+VIT_VARIANTS: Dict[str, ViTConfig] = {
+    "base": ViTConfig("ViT-Base", hidden=768, layers=12, heads=12),
+    "large": ViTConfig("ViT-Large", hidden=1024, layers=24, heads=16),
+    "huge": ViTConfig("ViT-Huge", hidden=1280, layers=32, heads=16),
+}
+
+
+def build_vit_graph(config: ViTConfig) -> OpGraph:
+    """Construct the full inference op graph for one image."""
+    graph = OpGraph(config.name)
+    s = config.seq_len
+    h = config.hidden
+    eb = config.element_bytes
+    dh = config.head_dim
+    heads = config.heads
+    mlp = config.mlp_hidden
+    patch_dim = config.patch_size**2 * config.in_channels
+
+    def tensor(name: str, elements: int) -> str:
+        return graph.add_tensor(name, elements * eb)
+
+    # ------------------------------------------------------------------
+    # Patch embedding
+    # ------------------------------------------------------------------
+    image = tensor("image", config.image_size**2 * config.in_channels)
+    patches = tensor("patches", s * patch_dim)
+    w_embed = tensor("w_embed", patch_dim * h)
+    x = tensor("x0", s * h)
+    graph.add(
+        NonGemmOp(
+            "patchify", (image,), (patches,),
+            op_type="patchify", elements=s * patch_dim,
+        )
+    )
+    graph.add(
+        GemmOp("embed", (patches, w_embed), (x,), m=s, k=patch_dim, n=h)
+    )
+
+    # ------------------------------------------------------------------
+    # Encoder layers
+    # ------------------------------------------------------------------
+    for layer in range(config.layers):
+        p = f"l{layer}."
+        xn1 = tensor(p + "ln1_out", s * h)
+        graph.add(
+            NonGemmOp(p + "ln1", (x,), (xn1,), op_type="layernorm", elements=s * h)
+        )
+
+        w_qkv = tensor(p + "w_qkv", h * 3 * h)
+        qkv = tensor(p + "qkv", s * 3 * h)
+        graph.add(GemmOp(p + "qkv", (xn1, w_qkv), (qkv,), m=s, k=h, n=3 * h))
+
+        scores = tensor(p + "scores", heads * s * s)
+        graph.add(
+            GemmOp(p + "qk", (qkv,), (scores,), m=s, k=dh, n=s, batch=heads)
+        )
+        probs = tensor(p + "probs", heads * s * s)
+        graph.add(
+            NonGemmOp(
+                p + "softmax", (scores,), (probs,),
+                op_type="softmax", elements=heads * s * s,
+            )
+        )
+        ctx = tensor(p + "ctx", s * h)
+        graph.add(
+            GemmOp(p + "av", (probs, qkv), (ctx,), m=s, k=s, n=dh, batch=heads)
+        )
+
+        w_proj = tensor(p + "w_proj", h * h)
+        proj = tensor(p + "proj", s * h)
+        graph.add(GemmOp(p + "proj", (ctx, w_proj), (proj,), m=s, k=h, n=h))
+
+        x_res1 = tensor(p + "res1", s * h)
+        graph.add(
+            NonGemmOp(
+                p + "add1", (x, proj), (x_res1,), op_type="add", elements=s * h
+            )
+        )
+
+        xn2 = tensor(p + "ln2_out", s * h)
+        graph.add(
+            NonGemmOp(
+                p + "ln2", (x_res1,), (xn2,), op_type="layernorm", elements=s * h
+            )
+        )
+        w_fc1 = tensor(p + "w_fc1", h * mlp)
+        fc1 = tensor(p + "fc1", s * mlp)
+        graph.add(GemmOp(p + "fc1", (xn2, w_fc1), (fc1,), m=s, k=h, n=mlp))
+        act = tensor(p + "gelu", s * mlp)
+        graph.add(
+            NonGemmOp(
+                p + "gelu", (fc1,), (act,), op_type="gelu", elements=s * mlp
+            )
+        )
+        w_fc2 = tensor(p + "w_fc2", mlp * h)
+        fc2 = tensor(p + "fc2", s * h)
+        graph.add(GemmOp(p + "fc2", (act, w_fc2), (fc2,), m=s, k=mlp, n=h))
+
+        x_next = tensor(f"x{layer + 1}", s * h)
+        graph.add(
+            NonGemmOp(
+                p + "add2", (x_res1, fc2), (x_next,), op_type="add", elements=s * h
+            )
+        )
+        x = x_next
+
+    # ------------------------------------------------------------------
+    # Classifier head
+    # ------------------------------------------------------------------
+    xf = tensor("ln_f_out", s * h)
+    graph.add(NonGemmOp("ln_f", (x,), (xf,), op_type="layernorm", elements=s * h))
+    pooled = tensor("pooled", h)
+    graph.add(NonGemmOp("pool", (xf,), (pooled,), op_type="pool", elements=s * h))
+    w_head = tensor("w_head", h * config.num_classes)
+    logits = tensor("logits", config.num_classes)
+    graph.add(
+        GemmOp("head", (pooled, w_head), (logits,), m=1, k=h, n=config.num_classes)
+    )
+    return graph

@@ -1,0 +1,64 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_gemm_defaults(self):
+        args = build_parser().parse_args(["gemm"])
+        assert args.system == "Table2"
+        assert args.size == 128
+        assert not args.verify
+
+    def test_vit_model_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["vit", "--model", "colossal"])
+
+    def test_sweep_kind_choices(self):
+        args = build_parser().parse_args(["sweep", "--kind", "packet"])
+        assert args.kind == "packet"
+
+
+class TestCommands:
+    def test_systems_lists_all(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        for name in ("PCIe-2GB", "PCIe-8GB", "PCIe-64GB", "DevMem", "Table2"):
+            assert name in out
+
+    def test_gemm_runs_and_verifies(self, capsys):
+        assert main(["gemm", "--size", "32", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out
+        assert "delivered" in out
+
+    def test_gemm_translation_report(self, capsys):
+        assert main(["gemm", "--size", "32", "--translation"]) == 0
+        out = capsys.readouterr().out
+        assert "utlb_lookup_times" in out
+
+    def test_gemm_unknown_system(self):
+        with pytest.raises(SystemExit):
+            main(["gemm", "--system", "PCIe-999GB"])
+
+    def test_gemm_packet_size(self, capsys):
+        assert main(["gemm", "--size", "32", "--packet-size", "512"]) == 0
+
+    def test_vit_runs(self, capsys):
+        assert main(
+            ["vit", "--model", "base", "--dim-scale", "0.0625",
+             "--system", "PCIe-8GB"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "non-GEMM" in out
+
+    def test_sweep_packet(self, capsys):
+        assert main(["sweep", "--kind", "packet", "--size", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "4096" in out

@@ -1,0 +1,111 @@
+"""Integration tests for accelerator clusters sharing the PCIe fabric."""
+
+import pytest
+
+from repro import SystemConfig
+from repro.core.system import AcceSysSystem
+from repro.workloads import GemmWorkload
+
+
+def make_cluster(n=2, **kw):
+    config = SystemConfig.pcie_2gb(num_accelerators=n, **kw)
+    return AcceSysSystem(config)
+
+
+def launch_on(system, driver, size, done_list):
+    workload = GemmWorkload(size, size, size)
+    prefix = driver.name
+    a = driver.pin_buffer(f"{prefix}.A", workload.a_bytes)
+    b = driver.pin_buffer(f"{prefix}.B", workload.b_bytes)
+    c = driver.pin_buffer(f"{prefix}.C", workload.c_bytes)
+    driver.launch_gemm(
+        size, size, size, a, b, c,
+        lambda job, stats: done_list.append(system.now),
+    )
+
+
+class TestClusterConstruction:
+    def test_single_accelerator_default(self):
+        system = AcceSysSystem(SystemConfig.pcie_2gb())
+        assert len(system.wrappers) == 1
+        assert system.wrapper is system.wrappers[0]
+
+    def test_two_accelerators_enumerate(self):
+        system = make_cluster(2)
+        assert len(system.wrappers) == 2
+        assert len(system.drivers) == 2
+        slots = {driver.slot for driver in system.drivers}
+        assert len(slots) == 2  # each driver bound its own function
+
+    def test_bar_windows_disjoint(self):
+        system = make_cluster(3)
+        bars = [driver.bar0 for driver in system.drivers]
+        for i, a in enumerate(bars):
+            for b in bars[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_iova_spaces_disjoint(self):
+        system = make_cluster(2)
+        a0 = system.drivers[0].pin_buffer("x", 1 << 20)
+        a1 = system.drivers[1].pin_buffer("x", 1 << 20)
+        assert abs(a0 - a1) >= 1 << 20
+
+    def test_zero_accelerators_rejected(self):
+        with pytest.raises(ValueError):
+            AcceSysSystem(SystemConfig.pcie_2gb(num_accelerators=0))
+
+
+class TestConcurrentExecution:
+    def test_both_jobs_complete(self):
+        system = make_cluster(2)
+        done = []
+        for driver in system.drivers:
+            launch_on(system, driver, 64, done)
+        system.run()
+        assert len(done) == 2
+
+    def test_link_sharing_slows_concurrent_jobs(self):
+        """Two concurrent GEMMs on a shared 2 GB/s link take about twice
+        as long as one job running alone (bandwidth is split)."""
+        solo = AcceSysSystem(SystemConfig.pcie_2gb())
+        done_solo = []
+        launch_on(solo, solo.driver, 128, done_solo)
+        solo.run()
+        t_solo = done_solo[0]
+
+        pair = make_cluster(2)
+        done_pair = []
+        for driver in pair.drivers:
+            launch_on(pair, driver, 128, done_pair)
+        pair.run()
+        t_pair = max(done_pair)
+
+        assert t_pair > 1.5 * t_solo
+        assert t_pair < 2.6 * t_solo
+
+    def test_results_correct_under_contention(self):
+        import numpy as np
+
+        config = SystemConfig.pcie_2gb(num_accelerators=2, functional=True)
+        system = AcceSysSystem(config)
+        size = 32
+        jobs = []
+        for index, driver in enumerate(system.drivers):
+            workload = GemmWorkload(size, size, size, seed=100 + index)
+            a_data, b_data = workload.generate()
+            prefix = driver.name
+            a = driver.pin_buffer(f"{prefix}.A", workload.a_bytes)
+            b = driver.pin_buffer(f"{prefix}.B", workload.b_bytes)
+            c = driver.pin_buffer(f"{prefix}.C", workload.c_bytes)
+            holder = {}
+            driver.launch_gemm(
+                size, size, size, a, b, c,
+                lambda job, stats, h=holder: h.update(result=job.c_result),
+                a_data=a_data, b_data=b_data,
+            )
+            jobs.append((workload, a_data, b_data, holder))
+        system.run()
+        for workload, a_data, b_data, holder in jobs:
+            np.testing.assert_array_equal(
+                holder["result"], workload.reference(a_data, b_data)
+            )

@@ -1,0 +1,67 @@
+"""Determinism and reproducibility guarantees.
+
+The simulator is meant to be bit-reproducible: same configuration and
+workload, same final tick, same statistics.  These tests catch accidental
+nondeterminism (iteration-order dependence, unseeded randomness).
+"""
+
+import pytest
+
+from repro import SystemConfig, run_gemm, run_vit
+from repro.core.stats import stats_to_csv, write_csv
+from repro.workloads import ViTConfig
+
+
+class TestDeterminism:
+    def test_gemm_bit_reproducible(self):
+        config = SystemConfig.pcie_8gb()
+        a = run_gemm(config, 64, 64, 64)
+        b = run_gemm(config, 64, 64, 64)
+        assert a.ticks == b.ticks
+        assert a.component_stats == b.component_stats
+
+    def test_gemm_devmem_reproducible(self):
+        config = SystemConfig.devmem_system()
+        a = run_gemm(config, 64, 64, 64)
+        b = run_gemm(config, 64, 64, 64)
+        assert a.ticks == b.ticks
+
+    def test_vit_reproducible(self):
+        tiny = ViTConfig("tiny", hidden=64, layers=1, heads=4,
+                         image_size=48, patch_size=16)
+        config = SystemConfig.pcie_2gb()
+        a = run_vit(config, tiny)
+        b = run_vit(config, tiny)
+        assert a.total_ticks == b.total_ticks
+        assert a.op_ticks == b.op_ticks
+
+    def test_functional_independent_of_timing_config(self):
+        """Data results must not depend on the timing configuration."""
+        import numpy as np
+
+        results = []
+        for config in (
+            SystemConfig.pcie_2gb(),
+            SystemConfig.pcie_64gb(),
+            SystemConfig.devmem_system(),
+        ):
+            r = run_gemm(config, 32, 32, 32, functional=True, seed=77)
+            results.append(r.c_matrix)
+        np.testing.assert_array_equal(results[0], results[1])
+        np.testing.assert_array_equal(results[0], results[2])
+
+
+class TestCsvExport:
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "table.csv"
+        write_csv(str(path), ["a", "b"], [[1, 2], [3, 4]])
+        text = path.read_text()
+        assert text.splitlines() == ["a,b", "1,2", "3,4"]
+
+    def test_stats_to_csv(self, tmp_path):
+        result = run_gemm(SystemConfig.pcie_2gb(), 64, 64, 64)
+        path = tmp_path / "stats.csv"
+        stats_to_csv(str(path), result.component_stats)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "stat,value"
+        assert len(lines) > 10

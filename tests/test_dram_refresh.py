@@ -1,0 +1,73 @@
+"""Refresh and long-horizon behaviour of the DRAM controller."""
+
+import dataclasses
+
+from repro.memory.addr_range import AddrRange
+from repro.memory.dram import DRAMController
+from repro.memory.dram.devices import DDR4_2400
+from repro.sim.eventq import Simulator
+from repro.sim.transaction import Transaction
+from repro.sim.ticks import ns
+
+
+def run_spaced_accesses(timings, gap_ticks, count):
+    """Issue line reads separated by idle gaps; return completion times."""
+    sim = Simulator()
+    ctrl = DRAMController(sim, "dram", timings, AddrRange(0, 1 << 24))
+    done = []
+
+    def issue(index):
+        if index >= count:
+            return
+        txn = Transaction.read(index * 64, 64)
+        ctrl.send(txn, lambda t: done.append(sim.now))
+        sim.schedule(gap_ticks, lambda: issue(index + 1))
+
+    issue(0)
+    sim.run()
+    return done
+
+
+class TestRefresh:
+    def test_refresh_stalls_recorded_over_long_run(self):
+        """Accesses spanning many tREFI windows hit refresh blackouts."""
+        timings = dataclasses.replace(
+            DDR4_2400, name="DDR4-fastrefresh", t_refi=500.0, t_rfc=300.0
+        )
+        run_spaced_accesses(timings, gap_ticks=ns(400), count=50)
+        sim = Simulator()
+        ctrl = DRAMController(sim, "dram", timings, AddrRange(0, 1 << 24))
+        for i in range(200):
+            ctrl.send(Transaction.read(i * 64, 64), lambda t: None)
+        sim.run()
+        assert ctrl.stats["refresh_stalls"].value > 0
+
+    def test_refresh_overhead_bounded(self):
+        """Refresh costs roughly tRFC/tREFI of bandwidth, not more."""
+        normal = DDR4_2400
+        no_refresh = dataclasses.replace(
+            DDR4_2400, name="DDR4-norefresh", t_refi=10**9
+        )
+
+        def stream(timings):
+            sim = Simulator()
+            ctrl = DRAMController(sim, "d", timings, AddrRange(0, 1 << 24))
+            for i in range(1024):
+                ctrl.send(Transaction.read(i * 4096, 4096), lambda t: None)
+            sim.run()
+            return sim.now
+
+        t_with = stream(normal)
+        t_without = stream(no_refresh)
+        assert t_with >= t_without
+        # Overhead fraction bounded by ~2x the duty cycle.
+        duty = normal.t_rfc / normal.t_refi
+        assert (t_with - t_without) / t_without < 2 * duty + 0.02
+
+    def test_idle_period_catch_up(self):
+        """A long idle gap must not accumulate refresh debt."""
+        done = run_spaced_accesses(DDR4_2400, gap_ticks=ns(100_000), count=5)
+        # Each access after an idle gap completes promptly (well under
+        # a refresh window) rather than serially paying missed refreshes.
+        gaps = [b - a for a, b in zip(done, done[1:])]
+        assert all(gap < ns(101_000) for gap in gaps)

@@ -1,0 +1,146 @@
+"""Unit tests for the event queue and simulator driver."""
+
+import pytest
+
+from repro.sim.eventq import (
+    PRIORITY_EARLY,
+    PRIORITY_LATE,
+    EventQueue,
+    Simulator,
+)
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.push(30, lambda: order.append(30))
+        q.push(10, lambda: order.append(10))
+        q.push(20, lambda: order.append(20))
+        while (event := q.pop()) is not None:
+            event.callback()
+        assert order == [10, 20, 30]
+
+    def test_ties_broken_by_insertion_order(self):
+        q = EventQueue()
+        order = []
+        for label in "abc":
+            q.push(5, lambda l=label: order.append(l))
+        while (event := q.pop()) is not None:
+            event.callback()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_beats_insertion_order(self):
+        q = EventQueue()
+        order = []
+        q.push(5, lambda: order.append("late"), priority=PRIORITY_LATE)
+        q.push(5, lambda: order.append("early"), priority=PRIORITY_EARLY)
+        while (event := q.pop()) is not None:
+            event.callback()
+        assert order == ["early", "late"]
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        fired = []
+        handle = q.push(1, lambda: fired.append("cancelled"))
+        q.push(2, lambda: fired.append("kept"))
+        handle.cancel()
+        while (event := q.pop()) is not None:
+            event.callback()
+        assert fired == ["kept"]
+
+    def test_peek_tick_skips_cancelled(self):
+        q = EventQueue()
+        handle = q.push(1, lambda: None)
+        q.push(7, lambda: None)
+        handle.cancel()
+        assert q.peek_tick() == 7
+
+    def test_peek_empty(self):
+        assert EventQueue().peek_tick() is None
+
+    def test_len(self):
+        q = EventQueue()
+        q.push(1, lambda: None)
+        q.push(2, lambda: None)
+        assert len(q) == 2
+
+
+class TestSimulator:
+    def test_time_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(100, lambda: seen.append(sim.now))
+        sim.schedule(50, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [50, 100]
+        assert sim.now == 100
+
+    def test_schedule_during_run(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(("first", sim.now))
+            sim.schedule(25, lambda: seen.append(("second", sim.now)))
+
+        sim.schedule(10, first)
+        sim.run()
+        assert seen == [("first", 10), ("second", 35)]
+
+    def test_run_until(self):
+        sim = Simulator()
+        seen = []
+        for t in (10, 20, 30):
+            sim.schedule(t, lambda t=t: seen.append(t))
+        sim.run(until=20)
+        assert seen == [10, 20]
+        sim.run()
+        assert seen == [10, 20, 30]
+
+    def test_max_events(self):
+        sim = Simulator()
+        seen = []
+        for t in (1, 2, 3):
+            sim.schedule(t, lambda t=t: seen.append(t))
+        sim.run(max_events=2)
+        assert seen == [1, 2]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_zero_delay_runs_at_now(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: sim.schedule(0, lambda: seen.append(sim.now)))
+        seen = []
+        sim.run()
+        assert seen == [10]
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for t in (1, 2, 3):
+            sim.schedule(t, lambda: None)
+        sim.run()
+        assert sim.events_executed == 3
+
+    def test_run_until_idle(self):
+        sim = Simulator()
+        state = {"done": False}
+
+        def finish():
+            state["done"] = True
+
+        sim.schedule(5, lambda: None)
+        sim.schedule(10, finish)
+        sim.schedule(20, lambda: None)
+        sim.run_until_idle(lambda: state["done"])
+        assert sim.now == 10

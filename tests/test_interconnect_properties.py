@@ -1,0 +1,120 @@
+"""Property-based invariants of the interconnect models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect.bus import MemBus
+from repro.interconnect.pcie import PCIeChannel, PCIeConfig
+from repro.memory.addr_range import AddrRange
+from repro.sim.eventq import Simulator
+from repro.sim.ports import FixedLatencyTarget
+from repro.sim.ticks import ns
+from repro.sim.transaction import Transaction
+
+
+class TestChannelProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=8192), min_size=1, max_size=20
+        )
+    )
+    def test_completions_preserve_issue_order(self, sizes):
+        """A channel is a FIFO: no transaction overtakes another."""
+        sim = Simulator()
+        channel = PCIeChannel(sim, "ch", PCIeConfig())
+        order = []
+        for index, size in enumerate(sizes):
+            channel.deliver(
+                Transaction.read(index * 16384, size), size,
+                lambda t, i=index: order.append(i),
+            )
+        sim.run()
+        assert order == sorted(order)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=8192), min_size=1, max_size=20
+        )
+    )
+    def test_payload_accounting_conserved(self, sizes):
+        sim = Simulator()
+        channel = PCIeChannel(sim, "ch", PCIeConfig())
+        for index, size in enumerate(sizes):
+            channel.deliver(Transaction.read(index * 16384, size), size,
+                            lambda t: None)
+        sim.run()
+        assert channel.stats["payload_bytes"].value == sum(sizes)
+        # Wire bytes strictly exceed payload (headers).
+        assert channel.stats["wire_bytes"].value > sum(sizes)
+
+    @settings(max_examples=15, deadline=None)
+    @given(size=st.integers(min_value=1, max_value=65536))
+    def test_single_transfer_latency_lower_bound(self, size):
+        """No transfer beats pure serialization plus hop latencies."""
+        sim = Simulator()
+        config = PCIeConfig()
+        channel = PCIeChannel(sim, "ch", config)
+        done = []
+        channel.deliver(Transaction.read(0, size), size,
+                        lambda t: done.append(sim.now))
+        sim.run()
+        from repro.sim.ticks import serialization_ticks
+
+        floor = serialization_ticks(
+            size, config.effective_bytes_per_sec
+        ) + config.rc_latency + config.switch_latency
+        assert done[0] >= floor
+
+
+class TestMemBusProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=(1 << 20) - 8192),
+                st.integers(min_value=1, max_value=8192),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_bytes_conserved_and_all_complete(self, ops):
+        sim = Simulator()
+        bus = MemBus(sim, "bus")
+        sink = FixedLatencyTarget(sim, "mem", latency=ns(10))
+        bus.attach(AddrRange(0, 1 << 20), sink)
+        completed = []
+        total = 0
+        for addr, size, is_write in ops:
+            txn = (
+                Transaction.write(addr, size)
+                if is_write
+                else Transaction.read(addr, size)
+            )
+            total += size
+            bus.send(txn, lambda t: completed.append(t.id))
+        sim.run()
+        assert len(completed) == len(ops)
+        assert len(set(completed)) == len(ops)  # each completes once
+        assert bus.stats["bytes"].value == total
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        widths=st.sampled_from([16, 32, 64, 128]),
+        n=st.integers(min_value=2, max_value=12),
+    )
+    def test_wider_bus_never_slower(self, widths, n):
+        def run(width):
+            sim = Simulator()
+            bus = MemBus(sim, "bus", width=width)
+            sink = FixedLatencyTarget(sim, "mem", latency=ns(10))
+            bus.attach(AddrRange(0, 1 << 20), sink)
+            for i in range(n):
+                bus.send(Transaction.read(i * 4096, 4096), lambda t: None)
+            sim.run()
+            return sim.now
+
+        assert run(widths * 2) <= run(widths)

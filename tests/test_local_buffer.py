@@ -1,0 +1,90 @@
+"""Unit tests for the local scratchpad buffer."""
+
+import pytest
+
+from repro.accel.local_buffer import BufferFullError, LocalBuffer
+from repro.sim.eventq import Simulator
+from repro.sim.ticks import ns
+from repro.sim.transaction import Transaction
+
+
+def make_buffer(capacity=1024):
+    sim = Simulator()
+    return sim, LocalBuffer(sim, "lbuf", capacity=capacity)
+
+
+class TestAllocation:
+    def test_alloc_free_cycle(self):
+        _, buf = make_buffer(1024)
+        buf.alloc("a", 512)
+        assert buf.in_use == 512
+        assert buf.free_bytes == 512
+        buf.free("a")
+        assert buf.in_use == 0
+
+    def test_overflow_raises(self):
+        _, buf = make_buffer(1024)
+        buf.alloc("a", 1024)
+        with pytest.raises(BufferFullError):
+            buf.alloc("b", 1)
+
+    def test_free_then_refill(self):
+        _, buf = make_buffer(1024)
+        buf.alloc("a", 600)
+        buf.alloc("b", 400)
+        buf.free("a")
+        buf.alloc("c", 600)
+        assert buf.in_use == 1000
+
+    def test_duplicate_tag_rejected(self):
+        _, buf = make_buffer()
+        buf.alloc("a", 64)
+        with pytest.raises(ValueError):
+            buf.alloc("a", 64)
+
+    def test_free_unknown_tag_is_noop(self):
+        _, buf = make_buffer()
+        buf.free("ghost")
+        assert buf.in_use == 0
+
+    def test_reset(self):
+        _, buf = make_buffer()
+        buf.alloc("a", 100)
+        buf.alloc("b", 100)
+        buf.reset()
+        assert buf.in_use == 0
+        assert not buf.holds("a")
+
+    def test_high_water_stat(self):
+        _, buf = make_buffer(1024)
+        buf.alloc("a", 700)
+        buf.free("a")
+        buf.alloc("b", 300)
+        assert buf.stats["high_water"].value == 700
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            LocalBuffer(sim, "x", capacity=0)
+        _, buf = make_buffer()
+        with pytest.raises(ValueError):
+            buf.alloc("a", 0)
+
+
+class TestTiming:
+    def test_sram_latency(self):
+        sim, buf = make_buffer()
+        done = []
+        buf.send(Transaction.read(0, 64), lambda t: done.append(sim.now))
+        sim.run()
+        assert done[0] >= ns(2)
+        assert done[0] < ns(10)
+
+    def test_stats_count(self):
+        sim, buf = make_buffer()
+        buf.send(Transaction.read(0, 64), lambda t: None)
+        buf.send(Transaction.write(0, 128), lambda t: None)
+        sim.run()
+        assert buf.stats["reads"].value == 1
+        assert buf.stats["writes"].value == 1
+        assert buf.stats["bytes"].value == 192

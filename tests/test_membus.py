@@ -1,0 +1,100 @@
+"""Unit tests for the coherent memory bus."""
+
+import pytest
+
+from repro.cache import Cache, CacheParams
+from repro.interconnect.bus import MemBus
+from repro.memory.addr_range import AddrRange
+from repro.sim.eventq import Simulator
+from repro.sim.ports import FixedLatencyTarget
+from repro.sim.ticks import ns
+from repro.sim.transaction import Transaction
+
+
+def make_bus(latency=ns(10)):
+    sim = Simulator()
+    bus = MemBus(sim, "membus", freq_hz=1e9, width=64, latency=latency)
+    mem = FixedLatencyTarget(sim, "mem", latency=ns(50))
+    bus.attach(AddrRange(0, 1 << 20), mem)
+    return sim, bus, mem
+
+
+class TestRouting:
+    def test_routes_by_range(self):
+        sim, bus, mem = make_bus()
+        other = FixedLatencyTarget(sim, "mmio", latency=ns(1))
+        bus.attach(AddrRange(1 << 20, 1 << 21), other)
+        assert bus.route(0) is mem
+        assert bus.route(1 << 20) is other
+        assert bus.route(1 << 22) is None
+
+    def test_overlapping_ranges_rejected(self):
+        sim, bus, _ = make_bus()
+        with pytest.raises(ValueError):
+            bus.attach(AddrRange(0, 64), FixedLatencyTarget(sim, "x", 1))
+
+    def test_unrouted_raises(self):
+        sim, bus, _ = make_bus()
+        with pytest.raises(ValueError):
+            bus.send(Transaction.read(1 << 22, 64), lambda t: None)
+
+    def test_end_to_end_latency(self):
+        sim, bus, _ = make_bus(latency=ns(10))
+        done = []
+        bus.send(Transaction.read(0, 64), lambda t: done.append(sim.now))
+        sim.run()
+        # 1 bus cycle occupancy + 10ns bus latency + 50ns memory.
+        assert done[0] == ns(1) + ns(10) + ns(50)
+
+    def test_bandwidth_limits(self):
+        sim, bus, _ = make_bus(latency=0)
+        done = []
+        for i in range(3):
+            bus.send(Transaction.read(i * 4096, 4096), lambda t: done.append(sim.now))
+        sim.run()
+        # 4096/64 = 64 cycles per transaction on the bus.
+        gaps = [b - a for a, b in zip(done, done[1:])]
+        assert all(gap == ns(64) for gap in gaps)
+
+
+class TestSnooping:
+    def test_write_from_other_master_invalidates(self):
+        sim, bus, mem = make_bus()
+        cache = Cache(sim, "acc_cache", CacheParams(size=4096, assoc=4), mem)
+        bus.add_snooper("accel", cache)
+        # Warm the snooping cache.
+        cache.send(Transaction.read(0, 128), lambda t: None)
+        sim.run()
+        assert cache.tags.resident_lines == 2
+        # CPU write through the bus invalidates the accelerator's copy.
+        bus.send(Transaction.write(0, 128, source="cpu"), lambda t: None)
+        sim.run()
+        assert cache.tags.resident_lines == 0
+        assert bus.stats["snoop_invalidations"].value == 2
+
+    def test_own_writes_do_not_self_invalidate(self):
+        sim, bus, mem = make_bus()
+        cache = Cache(sim, "acc_cache", CacheParams(size=4096, assoc=4), mem)
+        bus.add_snooper("accel", cache)
+        cache.send(Transaction.read(0, 64), lambda t: None)
+        sim.run()
+        bus.send(Transaction.write(0, 64, source="accel.dma"), lambda t: None)
+        sim.run()
+        assert cache.tags.resident_lines == 1
+
+    def test_reads_do_not_invalidate(self):
+        sim, bus, mem = make_bus()
+        cache = Cache(sim, "acc_cache", CacheParams(size=4096, assoc=4), mem)
+        bus.add_snooper("accel", cache)
+        cache.send(Transaction.read(0, 64), lambda t: None)
+        sim.run()
+        bus.send(Transaction.read(0, 64, source="cpu"), lambda t: None)
+        sim.run()
+        assert cache.tags.resident_lines == 1
+
+
+class TestValidation:
+    def test_bad_width(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            MemBus(sim, "b", width=0)

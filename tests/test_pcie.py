@@ -1,0 +1,255 @@
+"""Unit and property tests for the PCIe model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect.pcie import (
+    PCIE_GENERATIONS,
+    PCIeChannel,
+    PCIeConfig,
+    PCIeFabric,
+    TLPParams,
+)
+from repro.sim.eventq import Simulator
+from repro.sim.ports import FixedLatencyTarget
+from repro.sim.ticks import ns, serialization_ticks, ticks_to_seconds
+from repro.sim.transaction import Transaction
+
+GB = 10**9
+
+
+class TestTLPParams:
+    def test_num_tlps(self):
+        tlp = TLPParams(max_payload=256)
+        assert tlp.num_tlps(0) == 1      # header-only request
+        assert tlp.num_tlps(256) == 1
+        assert tlp.num_tlps(257) == 2
+        assert tlp.num_tlps(4096) == 16
+
+    def test_wire_bytes(self):
+        tlp = TLPParams(max_payload=256, header_bytes=24)
+        assert tlp.wire_bytes(0) == 24
+        assert tlp.wire_bytes(512) == 512 + 2 * 24
+
+    def test_efficiency_improves_with_payload(self):
+        tlp = TLPParams(max_payload=4096)
+        assert tlp.efficiency(64) < tlp.efficiency(256) < tlp.efficiency(4096)
+
+    def test_tlp_wire_bytes_caps_at_mps(self):
+        tlp = TLPParams(max_payload=256, header_bytes=24)
+        assert tlp.tlp_wire_bytes(4096) == 256 + 24
+        assert tlp.tlp_wire_bytes(100) == 100 + 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TLPParams(max_payload=0)
+        with pytest.raises(ValueError):
+            TLPParams(header_bytes=0)
+
+    @given(payload=st.integers(min_value=1, max_value=1 << 20))
+    def test_fragmentation_conserves_payload(self, payload):
+        tlp = TLPParams(max_payload=256, header_bytes=24)
+        n = tlp.num_tlps(payload)
+        assert (n - 1) * 256 < payload <= n * 256
+        assert tlp.wire_bytes(payload) == payload + n * 24
+
+
+class TestPCIeConfig:
+    def test_table2_default(self):
+        cfg = PCIeConfig()
+        assert cfg.lanes == 4
+        assert cfg.rc_latency == ns(150)
+        assert cfg.switch_latency == ns(50)
+        # 4 lanes x 5 Gb/s x 8/10 = 2 GB/s effective.
+        assert cfg.effective_bytes_per_sec == 2 * GB
+
+    def test_generation_presets(self):
+        gen3 = PCIeConfig.from_generation(3, lanes=16)
+        assert gen3.lane_gbps == 8.0
+        assert gen3.encoding == (128, 130)
+        # x16 gen3 ~ 15.75 GB/s
+        assert gen3.effective_bytes_per_sec == pytest.approx(15.75 * GB, rel=0.01)
+
+    def test_all_generations_monotonic(self):
+        rates = [
+            PCIeConfig.from_generation(g).effective_bytes_per_sec
+            for g in sorted(PCIE_GENERATIONS)
+        ]
+        assert rates == sorted(rates)
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            PCIeConfig(lanes=3)
+
+    def test_invalid_generation(self):
+        with pytest.raises(ValueError):
+            PCIeConfig.from_generation(7)
+
+    def test_describe(self):
+        assert "x4" in PCIeConfig().describe()
+
+
+class TestPCIeChannel:
+    def make_channel(self, **kw):
+        sim = Simulator()
+        cfg = PCIeConfig(**kw)
+        channel = PCIeChannel(sim, "ch", cfg)
+        return sim, channel
+
+    def test_single_tlp_latency(self):
+        sim, channel = self.make_channel()
+        done = []
+        txn = Transaction.read(0, 64)
+        channel.deliver(txn, 64, lambda t: done.append(sim.now))
+        sim.run()
+        bw = channel.config.effective_bytes_per_sec
+        wire = serialization_ticks(64 + 24, bw)
+        # occupancy + (switch latency + rc latency) + 2 store-and-forward
+        expected = wire + ns(200) + 2 * wire
+        assert done[0] == expected
+
+    def test_bandwidth_scales_with_lanes(self):
+        results = {}
+        for lanes in (2, 4, 8, 16):
+            sim, channel = self.make_channel(lanes=lanes)
+            done = []
+            for i in range(32):
+                channel.deliver(
+                    Transaction.read(i * 4096, 4096), 4096,
+                    lambda t: done.append(sim.now),
+                )
+            sim.run()
+            results[lanes] = max(done)
+        assert results[2] > results[4] > results[8] > results[16]
+
+    def test_header_only_request_is_fast(self):
+        sim, channel = self.make_channel()
+        done = []
+        channel.deliver(Transaction.read(0, 4096), 0, lambda t: done.append(sim.now))
+        sim.run()
+        # A header-only TLP should cost far less than the payload would.
+        bw = channel.config.effective_bytes_per_sec
+        assert done[0] < serialization_ticks(4096, bw) + ns(250)
+
+    def test_packet_size_override(self):
+        sim, channel = self.make_channel()
+        txn = Transaction.read(0, 4096)
+        txn.packet_size = 64
+        channel.deliver(txn, 4096, lambda t: None)
+        sim.run()
+        assert channel.stats["tlps"].value == 64
+
+    def test_stats_accumulate(self):
+        sim, channel = self.make_channel()
+        channel.deliver(Transaction.read(0, 512), 512, lambda t: None)
+        sim.run()
+        assert channel.stats["payload_bytes"].value == 512
+        assert channel.stats["tlps"].value == 2
+        assert channel.stats["wire_bytes"].value == 512 + 2 * 24
+
+
+class TestPCIeFabric:
+    def make_fabric(self, host_latency=ns(100), **kw):
+        sim = Simulator()
+        cfg = PCIeConfig(**kw)
+        host = FixedLatencyTarget(sim, "host", latency=host_latency)
+        fabric = PCIeFabric(sim, "pcie", cfg, host)
+        return sim, fabric, host
+
+    def test_read_round_trip_slower_than_write(self):
+        sim, fabric, _ = self.make_fabric()
+        done = {}
+        fabric.device_read(Transaction.read(0, 256), lambda t: done.setdefault("r", sim.now))
+        sim.run()
+        read_time = done["r"]
+
+        sim2, fabric2, _ = self.make_fabric()
+        done2 = {}
+        fabric2.device_write(
+            Transaction.write(0, 256), lambda t: done2.setdefault("w", sim2.now)
+        )
+        sim2.run()
+        write_time = done2["w"]
+        # Reads pay both directions plus host service; posted writes only up.
+        assert read_time > write_time
+
+    def test_read_delivers_through_host(self):
+        sim, fabric, host = self.make_fabric()
+        fabric.device_read(Transaction.read(0, 256), lambda t: None)
+        sim.run()
+        assert host.stats["transactions"].value == 1
+        assert fabric.up.stats["tlps"].value == 1   # header-only request
+        assert fabric.down.stats["tlps"].value == 1  # one 256B completion
+
+    def test_device_access_dispatch(self):
+        sim, fabric, host = self.make_fabric()
+        fabric.device_access(Transaction.read(0, 64), lambda t: None)
+        fabric.device_access(Transaction.write(0, 64), lambda t: None)
+        sim.run()
+        assert fabric.stats["device_reads"].value == 1
+        assert fabric.stats["device_writes"].value == 1
+
+    def test_host_mmio_write(self):
+        sim, fabric, _ = self.make_fabric()
+        device = FixedLatencyTarget(sim, "dev", latency=ns(5))
+        done = []
+        fabric.host_access(
+            Transaction.write(0x1000, 4), device, lambda t: done.append(sim.now)
+        )
+        sim.run()
+        assert device.stats["transactions"].value == 1
+        assert done and done[0] > ns(200)  # at least RC+switch latency
+
+    def test_host_mmio_read_round_trip(self):
+        sim, fabric, _ = self.make_fabric()
+        device = FixedLatencyTarget(sim, "dev", latency=ns(5))
+        done = []
+        fabric.host_access(
+            Transaction.read(0x1000, 4), device, lambda t: done.append(sim.now)
+        )
+        sim.run()
+        # Down request + device + up completion: at least 2x (RC+switch).
+        assert done[0] > 2 * ns(200)
+
+    def test_unconnected_host_raises(self):
+        sim = Simulator()
+        fabric = PCIeFabric(sim, "pcie", PCIeConfig())
+        with pytest.raises(RuntimeError):
+            fabric.device_read(Transaction.read(0, 64), lambda t: None)
+
+
+class TestThroughputProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(mps=st.sampled_from([128, 256, 512, 1024]))
+    def test_sustained_bandwidth_below_effective(self, mps):
+        sim = Simulator()
+        cfg = PCIeConfig(lanes=16, lane_gbps=16.0, encoding=(128, 130),
+                         tlp=TLPParams(max_payload=mps))
+        channel = PCIeChannel(sim, "ch", cfg)
+        total = 0
+        for i in range(64):
+            channel.deliver(Transaction.read(i * 4096, 4096), 4096, lambda t: None)
+            total += 4096
+        sim.run()
+        achieved = total / ticks_to_seconds(sim.now)
+        assert achieved < cfg.effective_bytes_per_sec
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        lanes=st.sampled_from([2, 4, 8, 16]),
+        gbps=st.sampled_from([2.0, 8.0, 32.0]),
+    )
+    def test_more_bandwidth_never_slower(self, lanes, gbps):
+        def run(lane_count, rate):
+            sim = Simulator()
+            cfg = PCIeConfig(lanes=lane_count, lane_gbps=rate)
+            channel = PCIeChannel(sim, "ch", cfg)
+            for i in range(16):
+                channel.deliver(Transaction.read(i * 4096, 4096), 4096, lambda t: None)
+            sim.run()
+            return sim.now
+
+        base = run(lanes, gbps)
+        faster = run(lanes, gbps * 2)
+        assert faster <= base

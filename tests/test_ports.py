@@ -1,0 +1,162 @@
+"""Unit tests for the TLM port building blocks."""
+
+import pytest
+
+from repro.sim.eventq import Simulator
+from repro.sim.ports import FixedLatencyTarget, PipelinedLink, QueueStation
+from repro.sim.simobject import ClockedObject, SimObject
+from repro.sim.ticks import GHZ, ns
+from repro.sim.transaction import Transaction
+
+
+def _collect(results):
+    def on_complete(txn):
+        results.append((txn.id, txn))
+
+    return on_complete
+
+
+class TestSimObject:
+    def test_names_and_repr(self):
+        sim = Simulator()
+        obj = SimObject(sim, "system.thing")
+        assert obj.name == "system.thing"
+        assert "system.thing" in repr(obj)
+
+    def test_now_property(self):
+        sim = Simulator()
+        obj = SimObject(sim, "o")
+        sim.schedule(42, lambda: None)
+        sim.run()
+        assert obj.now == 42
+
+    def test_clocked_object_cycles(self):
+        sim = Simulator()
+        obj = ClockedObject(sim, "c", 1 * GHZ)
+        assert obj.clock_period == 1000
+        assert obj.cycles(3) == 3000
+        assert obj.ticks_to_cycles(2500) == 2.5
+
+    def test_next_edge(self):
+        sim = Simulator()
+        obj = ClockedObject(sim, "c", 1 * GHZ)
+        assert obj.next_edge(0) == 0
+        assert obj.next_edge(1) == 1000
+        assert obj.next_edge(1000) == 1000
+        assert obj.next_edge(1001) == 2000
+
+
+class TestFixedLatencyTarget:
+    def test_completes_after_latency(self):
+        sim = Simulator()
+        target = FixedLatencyTarget(sim, "t", latency=ns(5))
+        done = []
+        target.send(Transaction.read(0, 64), lambda txn: done.append(sim.now))
+        sim.run()
+        assert done == [ns(5)]
+
+    def test_counts_transactions(self):
+        sim = Simulator()
+        target = FixedLatencyTarget(sim, "t", latency=1)
+        for _ in range(3):
+            target.send(Transaction.read(0, 64), lambda txn: None)
+        sim.run()
+        assert target.stats["transactions"].value == 3
+
+
+class TestQueueStation:
+    def test_fifo_service(self):
+        sim = Simulator()
+        station = QueueStation(sim, "q", service_fn=lambda txn: 100)
+        completions = []
+        for i in range(3):
+            station.send(
+                Transaction.read(i * 64, 64),
+                lambda txn: completions.append(sim.now),
+            )
+        sim.run()
+        # Back-to-back service: 100, 200, 300.
+        assert completions == [100, 200, 300]
+
+    def test_idle_gap_resets_server(self):
+        sim = Simulator()
+        station = QueueStation(sim, "q", service_fn=lambda txn: 100)
+        completions = []
+        station.send(Transaction.read(0, 64), lambda txn: completions.append(sim.now))
+        sim.run()
+        sim.schedule(900, lambda: station.send(
+            Transaction.read(64, 64), lambda txn: completions.append(sim.now)
+        ))
+        sim.run()
+        assert completions == [100, 1100]
+
+    def test_forwarding_chain(self):
+        sim = Simulator()
+        sink = FixedLatencyTarget(sim, "sink", latency=50)
+        station = QueueStation(sim, "q", service_fn=lambda t: 100, forward_to=sink)
+        completions = []
+        station.send(Transaction.read(0, 64), lambda txn: completions.append(sim.now))
+        sim.run()
+        assert completions == [150]
+
+    def test_requires_service_definition(self):
+        sim = Simulator()
+        station = QueueStation(sim, "q")
+        with pytest.raises(NotImplementedError):
+            station.send(Transaction.read(0, 64), lambda txn: None)
+
+    def test_busy_stat_accumulates(self):
+        sim = Simulator()
+        station = QueueStation(sim, "q", service_fn=lambda t: 7)
+        for _ in range(4):
+            station.send(Transaction.read(0, 64), lambda txn: None)
+        sim.run()
+        assert station.stats["busy_ticks"].value == 28
+
+
+class TestPipelinedLink:
+    def test_serialization_plus_propagation(self):
+        sim = Simulator()
+        link = PipelinedLink(
+            sim, "l", serialize_fn=lambda txn: txn.size, prop_delay=10
+        )
+        completions = []
+        link.send(Transaction.read(0, 100), lambda txn: completions.append(sim.now))
+        sim.run()
+        assert completions == [110]
+
+    def test_pipelining_overlaps_propagation(self):
+        sim = Simulator()
+        link = PipelinedLink(
+            sim, "l", serialize_fn=lambda txn: 100, prop_delay=1000
+        )
+        completions = []
+        for _ in range(2):
+            link.send(Transaction.read(0, 64), lambda txn: completions.append(sim.now))
+        sim.run()
+        # Second starts serializing at 100, arrives 100+100+1000.
+        assert completions == [1100, 1200]
+
+    def test_bytes_stat(self):
+        sim = Simulator()
+        link = PipelinedLink(sim, "l", serialize_fn=lambda t: 1)
+        link.send(Transaction.read(0, 640), lambda txn: None)
+        sim.run()
+        assert link.stats["bytes"].value == 640
+
+    def test_forwarding(self):
+        sim = Simulator()
+        sink = FixedLatencyTarget(sim, "sink", latency=5)
+        link = PipelinedLink(
+            sim, "l", serialize_fn=lambda t: 10, prop_delay=3, forward_to=sink
+        )
+        completions = []
+        link.send(Transaction.read(0, 64), lambda txn: completions.append(sim.now))
+        sim.run()
+        assert completions == [18]
+
+    def test_backlog(self):
+        sim = Simulator()
+        link = PipelinedLink(sim, "l", serialize_fn=lambda t: 500)
+        link.send(Transaction.read(0, 64), lambda txn: None)
+        assert link.backlog_ticks == 500

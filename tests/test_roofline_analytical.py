@@ -1,0 +1,131 @@
+"""Tests for the roofline sweep and the GEMM/non-GEMM trade-off model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SystemConfig, find_crossover, roofline_sweep
+from repro.core.analytical import (
+    TradeoffModel,
+    devmem_threshold,
+    threshold_table,
+)
+from repro.core.roofline import RooflinePoint
+from repro.sim.ticks import ns, us
+
+
+class TestRoofline:
+    def test_sweep_produces_both_regimes(self):
+        config = SystemConfig.pcie_8gb()
+        points = roofline_sweep(
+            config, 64, [ns(100), us(1), us(4), us(16), us(64), us(256)]
+        )
+        assert len(points) == 6
+        # Fast compute -> memory bound (flat); slow compute -> compute
+        # bound (execution tracks compute).
+        fastest = min(points, key=lambda p: p.compute_ticks)
+        slowest = max(points, key=lambda p: p.compute_ticks)
+        assert slowest.exec_ticks > 2 * fastest.exec_ticks
+        assert slowest.normalized == 1.0
+
+    def test_crossover_found(self):
+        config = SystemConfig.pcie_8gb()
+        sweep = [ns(100), ns(500), us(2), us(8), us(32), us(128), us(512)]
+        points = roofline_sweep(config, 64, sweep)
+        crossover = find_crossover(points)
+        assert crossover is not None
+        assert ns(100) <= crossover < us(512)
+
+    def test_crossover_none_when_flat(self):
+        points = [
+            RooflinePoint(ns(t), 1000, 1.0) for t in (1, 2, 3)
+        ]
+        assert find_crossover(points) is None
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            roofline_sweep(SystemConfig.pcie_8gb(), 64, [])
+
+
+class TestTradeoffModel:
+    def test_endpoints(self):
+        model = TradeoffModel("x", gemm_unit_time=10.0, nongemm_unit_time=30.0,
+                              t_other=5.0)
+        assert model.overall_time(0.0) == 15.0   # all GEMM
+        assert model.overall_time(1.0) == 35.0   # all non-GEMM
+        assert model.overall_time(0.5) == 25.0
+
+    def test_fraction_bounds(self):
+        model = TradeoffModel("x", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            model.overall_time(-0.1)
+        with pytest.raises(ValueError):
+            model.overall_time(1.1)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            TradeoffModel("x", -1.0, 1.0)
+
+    def test_sweep_is_linear(self):
+        model = TradeoffModel("x", 10.0, 20.0)
+        samples = model.sweep(steps=11)
+        assert len(samples) == 11
+        deltas = [
+            b[1] - a[1] for a, b in zip(samples, samples[1:])
+        ]
+        assert all(d == pytest.approx(deltas[0]) for d in deltas)
+
+    def test_threshold_paper_regime(self):
+        """DevMem fast on GEMM, slow on non-GEMM: a threshold exists."""
+        devmem = TradeoffModel("DevMem", gemm_unit_time=1.0, nongemm_unit_time=10.0)
+        pcie = TradeoffModel("PCIe", gemm_unit_time=4.0, nongemm_unit_time=2.0)
+        threshold = devmem_threshold(devmem, pcie)
+        # Crossing: 1w_g*1 + w_ng*10 = w_g*4 + w_ng*2 -> w_ng = 3/11.
+        assert threshold == pytest.approx(1 - 3 / 11)
+        # DevMem indeed wins above the threshold and loses below.
+        w_ng_win = 1 - (threshold + 0.05)
+        w_ng_lose = 1 - (threshold - 0.05)
+        assert devmem.overall_time(w_ng_win) < pcie.overall_time(w_ng_win)
+        assert devmem.overall_time(w_ng_lose) > pcie.overall_time(w_ng_lose)
+
+    def test_threshold_decreases_with_pcie_bandwidth(self):
+        """The paper's trend: faster PCIe -> lower DevMem threshold ...
+        i.e. DevMem needs a *larger* GEMM share to be worth it."""
+        devmem = TradeoffModel("DevMem", 1.0, 10.0)
+        slow_pcie = TradeoffModel("PCIe-2GB", 8.0, 2.0)
+        fast_pcie = TradeoffModel("PCIe-64GB", 1.5, 2.0)
+        t_slow = devmem_threshold(devmem, slow_pcie)
+        t_fast = devmem_threshold(devmem, fast_pcie)
+        assert t_slow < t_fast
+
+    def test_dominance_cases(self):
+        devmem = TradeoffModel("DevMem", 1.0, 1.0)
+        worse = TradeoffModel("PCIe", 2.0, 2.0)
+        assert devmem_threshold(devmem, worse) == 0.0
+        better = TradeoffModel("PCIe", 0.5, 0.5)
+        assert devmem_threshold(devmem, better) is None
+
+    def test_threshold_table(self):
+        devmem = TradeoffModel("DevMem", 1.0, 10.0)
+        models = [
+            TradeoffModel("PCIe-2GB", 8.0, 2.0),
+            TradeoffModel("PCIe-64GB", 1.5, 2.0),
+        ]
+        table = threshold_table(devmem, models)
+        assert [name for name, _ in table] == ["PCIe-2GB", "PCIe-64GB"]
+
+    @settings(max_examples=40)
+    @given(
+        g1=st.floats(min_value=0.1, max_value=100),
+        n1=st.floats(min_value=0.1, max_value=100),
+        g2=st.floats(min_value=0.1, max_value=100),
+        n2=st.floats(min_value=0.1, max_value=100),
+    )
+    def test_threshold_consistent_with_direct_comparison(self, g1, n1, g2, n2):
+        devmem = TradeoffModel("d", g1, n1)
+        pcie = TradeoffModel("p", g2, n2)
+        threshold = devmem_threshold(devmem, pcie)
+        if threshold is None:
+            # PCIe wins everywhere (allow boundary ties).
+            for w in (0.0, 0.25, 0.5, 0.75, 1.0):
+                assert devmem.overall_time(w) >= pcie.overall_time(w) - 1e-9

@@ -1,0 +1,75 @@
+"""Unit tests for the GEMM runner surface (result types, options)."""
+
+import numpy as np
+import pytest
+
+from repro import AccessMode, SystemConfig, run_gemm
+from repro.core.runner import GemmResult
+
+
+class TestGemmResult:
+    def test_seconds_property(self):
+        result = GemmResult("x", 1, 1, 1, ticks=10**12, job_ticks=10**12,
+                            traffic_bytes=100)
+        assert result.seconds == 1.0
+
+    def test_delivered_bandwidth(self):
+        result = GemmResult("x", 1, 1, 1, ticks=10**12, job_ticks=10**12,
+                            traffic_bytes=2 * 10**9)
+        assert result.delivered_bytes_per_sec == pytest.approx(2e9)
+
+    def test_delivered_zero_guard(self):
+        result = GemmResult("x", 1, 1, 1, ticks=0, job_ticks=0,
+                            traffic_bytes=100)
+        assert result.delivered_bytes_per_sec == 0.0
+
+
+class TestRunGemmOptions:
+    def test_packet_size_argument_overrides_config(self):
+        config = SystemConfig.pcie_8gb()  # packet 256 default
+        r_default = run_gemm(config, 64, 64, 64)
+        r_override = run_gemm(config, 64, 64, 64, packet_size=64)
+        # Different packetization -> different timing.
+        assert r_default.ticks != r_override.ticks
+
+    def test_functional_flag_enables_backing(self):
+        result = run_gemm(SystemConfig.pcie_2gb(), 32, 32, 32,
+                          functional=True)
+        assert result.c_matrix is not None
+        result2 = run_gemm(SystemConfig.pcie_2gb(), 32, 32, 32)
+        assert result2.c_matrix is None
+
+    def test_seed_changes_data_not_timing(self):
+        a = run_gemm(SystemConfig.pcie_2gb(), 32, 32, 32,
+                     functional=True, seed=1)
+        b = run_gemm(SystemConfig.pcie_2gb(), 32, 32, 32,
+                     functional=True, seed=2)
+        assert a.ticks == b.ticks  # timing is data-independent
+        assert not np.array_equal(a.c_matrix, b.c_matrix)
+
+    def test_non_square_gemm(self):
+        result = run_gemm(SystemConfig.pcie_2gb(), 48, 128, 80,
+                          functional=True, seed=3)
+        from repro.workloads import GemmWorkload
+
+        workload = GemmWorkload(48, 128, 80, seed=3)
+        a, b = workload.generate()
+        np.testing.assert_array_equal(result.c_matrix,
+                                      workload.reference(a, b))
+
+    def test_component_stats_populated(self):
+        result = run_gemm(SystemConfig.pcie_2gb(), 64, 64, 64)
+        assert any("sa" in key for key in result.component_stats)
+        assert any("dma" in key for key in result.component_stats)
+
+    def test_dm_mode_has_table4(self):
+        config = SystemConfig.table2_baseline(
+            access_mode=AccessMode.DIRECT_MEMORY
+        )
+        result = run_gemm(config, 64, 64, 64)
+        assert result.table4 is not None
+
+    def test_no_smmu_no_table4(self):
+        result = run_gemm(SystemConfig.table2_baseline(smmu=None),
+                          64, 64, 64)
+        assert result.table4 is None

@@ -1,0 +1,78 @@
+"""Unit tests for the fixed latency/bandwidth memory model."""
+
+import numpy as np
+import pytest
+
+from repro.memory.addr_range import AddrRange
+from repro.memory.physmem import PhysicalMemory
+from repro.memory.simple import SimpleMemory
+from repro.sim.eventq import Simulator
+from repro.sim.ticks import ns, serialization_ticks
+from repro.sim.transaction import Transaction
+
+GB = 10**9
+
+
+def make_mem(latency=ns(30), bandwidth=10 * GB, size=1 << 20, backing=False):
+    sim = Simulator()
+    store = PhysicalMemory(AddrRange(0, size)) if backing else None
+    mem = SimpleMemory(sim, "mem", AddrRange(0, size), latency, bandwidth, store)
+    return sim, mem
+
+
+class TestTiming:
+    def test_single_access_latency(self):
+        sim, mem = make_mem(latency=ns(30), bandwidth=10 * GB)
+        done = []
+        mem.send(Transaction.read(0, 64), lambda t: done.append(sim.now))
+        sim.run()
+        expected = serialization_ticks(64, 10 * GB) + ns(30)
+        assert done == [expected]
+
+    def test_bandwidth_limits_back_to_back(self):
+        sim, mem = make_mem(latency=0, bandwidth=1 * GB)
+        done = []
+        for i in range(3):
+            mem.send(
+                Transaction.read(i * 1024, 1024), lambda t: done.append(sim.now)
+            )
+        sim.run()
+        one = serialization_ticks(1024, 1 * GB)
+        assert done == [one, 2 * one, 3 * one]
+
+    def test_latency_pipelines(self):
+        # With huge latency but fast port, completions are spaced by
+        # serialization, not by latency.
+        sim, mem = make_mem(latency=ns(1000), bandwidth=100 * GB)
+        done = []
+        for i in range(2):
+            mem.send(Transaction.read(i * 64, 64), lambda t: done.append(sim.now))
+        sim.run()
+        gap = done[1] - done[0]
+        assert gap == serialization_ticks(64, 100 * GB)
+
+    def test_out_of_range_rejected(self):
+        sim, mem = make_mem(size=4096)
+        with pytest.raises(ValueError):
+            mem.send(Transaction.read(8192, 64), lambda t: None)
+
+
+class TestFunctional:
+    def test_write_then_read_data(self):
+        sim, mem = make_mem(backing=True)
+        payload = np.arange(64, dtype=np.uint8)
+        mem.send(Transaction.write(256, 64, payload), lambda t: None)
+        results = []
+        mem.send(Transaction.read(256, 64), lambda t: results.append(t.data))
+        sim.run()
+        np.testing.assert_array_equal(results[0], payload)
+
+    def test_stats(self):
+        sim, mem = make_mem()
+        mem.send(Transaction.read(0, 64), lambda t: None)
+        mem.send(Transaction.write(64, 128), lambda t: None)
+        sim.run()
+        assert mem.stats["reads"].value == 1
+        assert mem.stats["writes"].value == 1
+        assert mem.stats["bytes_read"].value == 64
+        assert mem.stats["bytes_written"].value == 128

@@ -1,0 +1,171 @@
+"""Unit tests for the SMMU and the page-table walker."""
+
+import pytest
+
+from repro.sim.eventq import Simulator
+from repro.sim.ports import FixedLatencyTarget
+from repro.sim.ticks import ns
+from repro.sim.transaction import Transaction
+from repro.smmu import SMMU, PageTable, PageTableWalker, SMMUConfig
+from repro.smmu.page_table import PAGE_SIZE, PageFault
+
+TABLE_BASE = 0x8000_0000
+VA_BASE = 0x10_0000
+PA_BASE = 0x40_0000
+
+
+def make_smmu(mem_latency=ns(100), utlb=32, tlb=4096, map_bytes=1 << 20, **cfg_kw):
+    sim = Simulator()
+    mem = FixedLatencyTarget(sim, "mem", latency=mem_latency)
+    table = PageTable(TABLE_BASE)
+    table.map_range(VA_BASE, PA_BASE, map_bytes)
+    config = SMMUConfig(utlb_entries=utlb, tlb_entries=tlb, **cfg_kw)
+    smmu = SMMU(sim, "smmu", config, table, mem)
+    return sim, smmu, table, mem
+
+
+def do_translate(sim, smmu, addr, size):
+    done = []
+    txn = Transaction.read(addr, size)
+    smmu.translate(txn, lambda t: done.append((sim.now, t)))
+    sim.run()
+    return done[0]
+
+
+class TestWalker:
+    def test_cold_walk_fetches_all_levels(self):
+        sim, smmu, table, mem = make_smmu()
+        results = []
+        smmu.walker.walk(VA_BASE // PAGE_SIZE, lambda v, l, t: results.append((v, l, t)))
+        sim.run()
+        vpn, levels, ticks = results[0]
+        assert levels == 4
+        assert ticks >= 4 * ns(100)
+        assert mem.stats["transactions"].value == 4
+
+    def test_walk_cache_skips_interior_levels(self):
+        sim, smmu, table, mem = make_smmu()
+        results = []
+        vpn0 = VA_BASE // PAGE_SIZE
+        smmu.walker.walk(vpn0, lambda v, l, t: results.append(l))
+        sim.run()
+        # Second walk to the adjacent page shares all interior nodes.
+        smmu.walker.walk(vpn0 + 1, lambda v, l, t: results.append(l))
+        sim.run()
+        assert results[0] == 4
+        assert results[1] == 1  # only the leaf PTE fetch
+
+    def test_walks_serialize(self):
+        sim, smmu, table, mem = make_smmu(mem_latency=ns(100))
+        done = []
+        vpn0 = VA_BASE // PAGE_SIZE
+        smmu.walker.walk(vpn0, lambda v, l, t: done.append(sim.now))
+        smmu.walker.walk(vpn0 + 1, lambda v, l, t: done.append(sim.now))
+        sim.run()
+        assert done[1] > done[0]
+
+    def test_unmapped_walk_faults(self):
+        sim, smmu, table, mem = make_smmu()
+        with pytest.raises(PageFault):
+            smmu.walker.walk(0xDEAD, lambda v, l, t: None)
+            sim.run()
+
+
+class TestTranslation:
+    def test_translates_address(self):
+        sim, smmu, _, _ = make_smmu()
+        _, txn = do_translate(sim, smmu, VA_BASE + 0x123, 64)
+        assert txn.vaddr == VA_BASE + 0x123
+        assert txn.addr == PA_BASE + 0x123
+        assert txn.paddr == PA_BASE + 0x123
+        assert txn.is_translated
+
+    def test_per_line_accounting(self):
+        sim, smmu, _, _ = make_smmu()
+        do_translate(sim, smmu, VA_BASE, 4096)  # 64 lines, one page
+        assert smmu.utlb.lookups == 64
+        assert smmu.utlb.misses == 1
+        assert smmu.stats["translations"].value == 64
+
+    def test_multi_page_transaction(self):
+        sim, smmu, _, _ = make_smmu()
+        do_translate(sim, smmu, VA_BASE, 3 * 4096)
+        assert smmu.utlb.misses == 3
+        assert smmu.utlb.lookups == 3 * 64
+
+    def test_warm_translation_is_fast(self):
+        sim, smmu, _, _ = make_smmu()
+        t_cold, _ = do_translate(sim, smmu, VA_BASE, 64)
+        before = sim.now
+        t_warm, _ = do_translate(sim, smmu, VA_BASE, 64)
+        assert (t_warm - before) < t_cold
+
+    def test_tlb_hit_cheaper_than_walk(self):
+        # Tiny uTLB (1 entry) forces uTLB misses; large main TLB catches them.
+        sim, smmu, _, _ = make_smmu(utlb=1)
+        do_translate(sim, smmu, VA_BASE, 64)          # cold: walk
+        do_translate(sim, smmu, VA_BASE + 4096, 64)   # evicts page 0 from uTLB
+        start = sim.now
+        do_translate(sim, smmu, VA_BASE, 64)          # uTLB miss, main TLB hit
+        elapsed = sim.now - start
+        assert elapsed == smmu.config.tlb_latency
+        assert smmu.walker.stats["walks"].value == 2
+
+    def test_walk_count_matches_footprint(self):
+        """With a large main TLB each page walks exactly once."""
+        sim, smmu, _, _ = make_smmu(utlb=2)
+        npages = 16
+        for i in range(npages):
+            do_translate(sim, smmu, VA_BASE + i * 4096, 4096)
+        # Revisit: uTLB (2 entries) misses, but the main TLB absorbs them.
+        for i in range(npages):
+            do_translate(sim, smmu, VA_BASE + i * 4096, 4096)
+        assert smmu.walker.stats["walks"].value == npages
+
+    def test_small_main_tlb_thrashes(self):
+        """When the footprint exceeds the main TLB, walks recur (Table IV)."""
+        sim, smmu, _, _ = make_smmu(utlb=1, tlb=4)
+        npages = 16
+        for _ in range(2):
+            for i in range(npages):
+                do_translate(sim, smmu, VA_BASE + i * 4096, 4096)
+        assert smmu.walker.stats["walks"].value > npages
+
+    def test_unmapped_translation_faults(self):
+        sim, smmu, _, _ = make_smmu()
+        with pytest.raises(PageFault):
+            do_translate(sim, smmu, 0xDEAD_0000, 64)
+
+    def test_stall_accumulates(self):
+        sim, smmu, _, _ = make_smmu()
+        do_translate(sim, smmu, VA_BASE, 4096)
+        assert smmu.stats["stall_ticks"].value > 0
+
+
+class TestTable4Metrics:
+    def test_metrics_shape(self):
+        sim, smmu, table, _ = make_smmu(map_bytes=48 * 1024)
+        for i in range(12):
+            do_translate(sim, smmu, VA_BASE + i * 4096, 4096)
+        metrics = smmu.table4_metrics(total_runtime_ticks=sim.now)
+        assert metrics["memory_footprint_pages"] == 12
+        assert metrics["translation_times"] == 12 * 64
+        assert metrics["ptw_times"] == 12
+        assert metrics["utlb_lookup_times"] == 12 * 64
+        assert metrics["utlb_miss_times"] == 12
+        assert 0 < metrics["trans_overhead_pct"] <= 100
+        assert metrics["trans_mean_cycles"] > 1.0
+
+    def test_overhead_zero_without_runtime(self):
+        sim, smmu, _, _ = make_smmu()
+        assert smmu.table4_metrics(0)["trans_overhead_pct"] == 0.0
+
+
+class TestConfigValidation:
+    def test_bad_page_size(self):
+        with pytest.raises(ValueError):
+            SMMUConfig(page_size=3000)
+
+    def test_line_must_divide_page(self):
+        with pytest.raises(ValueError):
+            SMMUConfig(line_size=48)

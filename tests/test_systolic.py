@@ -1,0 +1,125 @@
+"""Unit tests for the systolic array timing and functional models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.systolic import SystolicArray, SystolicParams
+from repro.sim.eventq import Simulator
+from repro.sim.ticks import ns
+
+
+def make_array(**kw):
+    sim = Simulator()
+    overrides = kw.pop("compute_ticks_override", None)
+    params = SystolicParams(**kw)
+    return sim, SystolicArray(sim, "sa", params, overrides)
+
+
+class TestParams:
+    def test_defaults_match_paper(self):
+        params = SystolicParams()
+        assert params.rows == 16 and params.cols == 16
+        assert params.macs == 256
+        assert params.element_bytes == 4
+
+    def test_tile_cycles_ingest_bound(self):
+        # 1 element/cycle ingest: 16*k cycles dominate k+32.
+        params = SystolicParams(ingest_elems=1)
+        assert params.tile_cycles(1024) == 16 * 1024
+
+    def test_tile_cycles_pipeline_bound(self):
+        # Wide ingest: the MAC pipeline dominates.
+        params = SystolicParams(ingest_elems=16)
+        assert params.tile_cycles(1024) == 1024 + 32
+
+    def test_ingest_bandwidth(self):
+        params = SystolicParams(ingest_elems=1, freq_hz=1e9)
+        # 1 elem x 4 B x 1 GHz x 2 panels = 8 GB/s.
+        assert params.ingest_bytes_per_sec == pytest.approx(8e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystolicParams(rows=0)
+        with pytest.raises(ValueError):
+            SystolicParams(ingest_elems=0)
+        with pytest.raises(ValueError):
+            SystolicParams(element_bytes=3)
+        with pytest.raises(ValueError):
+            SystolicParams().tile_cycles(0)
+
+
+class TestTiming:
+    def test_back_to_back_tiles_queue(self):
+        sim, sa = make_array(ingest_elems=16)
+        finishes = []
+        for _ in range(3):
+            sa.compute_tile(64, lambda: finishes.append(sim.now))
+        sim.run()
+        tile_ticks = sa.tile_ticks(64)
+        assert finishes == [tile_ticks, 2 * tile_ticks, 3 * tile_ticks]
+
+    def test_override_pins_tile_time(self):
+        sim, sa = make_array(compute_ticks_override=ns(1500))
+        done = []
+        sa.compute_tile(4096, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [ns(1500)]
+
+    def test_idle_tracking(self):
+        sim, sa = make_array(ingest_elems=16)
+        sa.compute_tile(64, lambda: None)
+        sim.run()
+        gap = ns(500)
+        sim.schedule(gap, lambda: sa.compute_tile(64, lambda: None))
+        sim.run()
+        assert sa.stats["idle_ticks"].value == gap
+
+    def test_stats(self):
+        sim, sa = make_array()
+        sa.compute_tile(128, lambda: None)
+        sim.run()
+        assert sa.stats["tiles"].value == 1
+        assert sa.stats["macs"].value == 16 * 16 * 128
+
+    def test_describe(self):
+        _, sa = make_array()
+        assert "16x16" in sa.describe()
+
+
+class TestFunctional:
+    def test_known_product(self):
+        a = np.array([[1, 2], [3, 4]], dtype=np.int32)
+        b = np.array([[5, 6], [7, 8]], dtype=np.int32)
+        np.testing.assert_array_equal(
+            SystolicArray.multiply(a, b), a @ b
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            SystolicArray.multiply(
+                np.zeros((2, 3), dtype=np.int32), np.zeros((2, 3), dtype=np.int32)
+            )
+
+    def test_accumulation_wraps_like_int32(self):
+        big = np.full((1, 1), 2**20, dtype=np.int32)
+        result = SystolicArray.multiply(big, big)
+        expected = np.int64(2**40) & 0xFFFFFFFF
+        assert result[0, 0] == np.int64(result[0, 0]) & 0xFFFFFFFF
+
+    @settings(max_examples=25)
+    @given(
+        m=st.integers(min_value=1, max_value=8),
+        k=st.integers(min_value=1, max_value=8),
+        n=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_matches_numpy_random(self, m, k, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-100, 100, size=(m, k), dtype=np.int32)
+        b = rng.integers(-100, 100, size=(k, n), dtype=np.int32)
+        np.testing.assert_array_equal(
+            SystolicArray.multiply(a, b),
+            (a.astype(np.int64) @ b.astype(np.int64)).astype(np.int32),
+        )

@@ -1,0 +1,88 @@
+"""Unit tests for the integer time base."""
+
+import pytest
+
+from repro.sim import ticks
+from repro.sim.ticks import (
+    GHZ,
+    TICKS_PER_SEC,
+    cycles_to_ticks,
+    freq_to_period,
+    from_seconds,
+    gbps_to_bytes_per_sec,
+    ns,
+    ps,
+    serialization_ticks,
+    ticks_to_ns,
+    ticks_to_seconds,
+    us,
+)
+
+
+class TestConversions:
+    def test_one_tick_is_one_picosecond(self):
+        assert ps(1) == 1
+        assert ns(1) == 1000
+        assert us(1) == 1_000_000
+        assert from_seconds(1) == TICKS_PER_SEC
+
+    def test_fractional_ns(self):
+        assert ns(1.5) == 1500
+        assert ns(0.001) == 1
+
+    def test_round_trip_seconds(self):
+        assert ticks_to_seconds(from_seconds(0.25)) == pytest.approx(0.25)
+
+    def test_round_trip_ns(self):
+        assert ticks_to_ns(ns(123.0)) == pytest.approx(123.0)
+
+    def test_ticks_to_us(self):
+        assert ticks.ticks_to_us(us(7)) == pytest.approx(7.0)
+
+
+class TestFrequency:
+    def test_one_ghz_period(self):
+        assert freq_to_period(1 * GHZ) == 1000
+
+    def test_two_ghz_period(self):
+        assert freq_to_period(2 * GHZ) == 500
+
+    def test_period_never_zero(self):
+        assert freq_to_period(10**13) == 1
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            freq_to_period(0)
+        with pytest.raises(ValueError):
+            freq_to_period(-1)
+
+    def test_cycles_to_ticks(self):
+        assert cycles_to_ticks(10, 1000) == 10_000
+
+
+class TestBandwidth:
+    def test_gbps_conversion(self):
+        # 8 Gb/s == 1e9 bytes/s
+        assert gbps_to_bytes_per_sec(8) == 10**9
+
+    def test_serialization_exact(self):
+        # 1000 bytes at 1 GB/s -> 1 us
+        assert serialization_ticks(1000, 10**9) == us(1)
+
+    def test_serialization_rounds_up(self):
+        # 1 byte at 3 bytes/s: 1/3 s -> must round up
+        got = serialization_ticks(1, 3)
+        assert got == (TICKS_PER_SEC + 2) // 3
+
+    def test_serialization_zero_bytes(self):
+        assert serialization_ticks(0, 10**9) == 0
+
+    def test_serialization_negative_bytes(self):
+        assert serialization_ticks(-5, 10**9) == 0
+
+    def test_serialization_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            serialization_ticks(100, 0)
+
+    def test_gb_per_sec(self):
+        assert ticks.gb_per_sec(2.5) == 2_500_000_000

@@ -1,0 +1,126 @@
+"""Unit and property tests for the TLB."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smmu.tlb import TLB
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        tlb = TLB("t", entries=8)
+        assert tlb.lookup(5) is None
+        tlb.insert(5, 99)
+        assert tlb.lookup(5) == 99
+        assert tlb.lookups == 2
+        assert tlb.hits == 1
+        assert tlb.misses == 1
+
+    def test_batched_lookup_counting(self):
+        tlb = TLB("t", entries=8)
+        tlb.insert(1, 10)
+        tlb.lookup(1, count=63)
+        assert tlb.lookups == 63
+        assert tlb.hits == 63
+
+    def test_lru_eviction_fully_assoc(self):
+        tlb = TLB("t", entries=2)
+        tlb.insert(1, 10)
+        tlb.insert(2, 20)
+        tlb.lookup(1)            # 1 most recent
+        evicted = tlb.insert(3, 30)
+        assert evicted == 2
+        assert tlb.probe(1) and tlb.probe(3)
+        assert not tlb.probe(2)
+
+    def test_set_associative_mapping(self):
+        tlb = TLB("t", entries=8, assoc=2)  # 4 sets
+        # vpns 0, 4, 8 all map to set 0; assoc 2 -> third insert evicts.
+        tlb.insert(0, 1)
+        tlb.insert(4, 2)
+        evicted = tlb.insert(8, 3)
+        assert evicted == 0
+        assert tlb.occupancy == 2
+
+    def test_reinsert_updates(self):
+        tlb = TLB("t", entries=4)
+        tlb.insert(1, 10)
+        assert tlb.insert(1, 11) is None
+        assert tlb.lookup(1) == 11
+
+    def test_invalidate(self):
+        tlb = TLB("t", entries=4)
+        tlb.insert(1, 10)
+        assert tlb.invalidate(1)
+        assert not tlb.invalidate(1)
+        assert tlb.lookup(1) is None
+
+    def test_invalidate_all(self):
+        tlb = TLB("t", entries=4)
+        for i in range(4):
+            tlb.insert(i, i)
+        tlb.invalidate_all()
+        assert tlb.occupancy == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TLB("t", entries=0)
+        with pytest.raises(ValueError):
+            TLB("t", entries=10, assoc=4)
+
+    def test_assoc_capped_to_fully(self):
+        tlb = TLB("t", entries=4, assoc=100)
+        assert tlb.assoc == 4
+        assert tlb.num_sets == 1
+
+    def test_stat_dict(self):
+        tlb = TLB("mytlb", entries=4)
+        tlb.insert(0, 0)
+        tlb.lookup(0)
+        stats = tlb.stat_dict()
+        assert stats["mytlb.hit_rate"] == 1.0
+
+
+class TestProperties:
+    @settings(max_examples=40)
+    @given(
+        ops=st.lists(
+            st.integers(min_value=0, max_value=63), min_size=1, max_size=100
+        ),
+        entries=st.sampled_from([2, 4, 8, 16]),
+    )
+    def test_occupancy_bounded(self, ops, entries):
+        tlb = TLB("t", entries=entries)
+        for vpn in ops:
+            if tlb.lookup(vpn) is None:
+                tlb.insert(vpn, vpn + 1000)
+        assert tlb.occupancy <= entries
+
+    @settings(max_examples=40)
+    @given(
+        ops=st.lists(
+            st.integers(min_value=0, max_value=63), min_size=1, max_size=100
+        )
+    )
+    def test_hits_plus_misses_equals_lookups(self, ops):
+        tlb = TLB("t", entries=8, assoc=2)
+        for vpn in ops:
+            if tlb.lookup(vpn) is None:
+                tlb.insert(vpn, vpn)
+        assert tlb.hits + tlb.misses == tlb.lookups
+
+    @settings(max_examples=30)
+    @given(
+        working_set=st.integers(min_value=1, max_value=8),
+        passes=st.integers(min_value=2, max_value=5),
+    )
+    def test_working_set_within_capacity_always_hits_after_warmup(
+        self, working_set, passes
+    ):
+        tlb = TLB("t", entries=8)
+        for vpn in range(working_set):
+            tlb.insert(vpn, vpn)
+        for _ in range(passes):
+            for vpn in range(working_set):
+                assert tlb.lookup(vpn) == vpn

@@ -7,23 +7,19 @@ bandwidth and saturates when the system turns compute-bound around the
 (1109.9%).
 """
 
-from conftest import banner, scaled
+from conftest import banner, scaled, sweep_options
 
-from repro import SystemConfig, format_table, run_gemm
+from repro import format_table
+from repro.sweep import build_sweep, run_sweep
 
 LANES = (2, 4, 8, 16)
 SPEEDS = (2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
 
 def _run_sweep(size: int) -> dict:
-    results = {}
-    for lanes in LANES:
-        for gbps in SPEEDS:
-            config = SystemConfig.table2_baseline().with_pcie_bandwidth(
-                lanes, gbps
-            )
-            results[(lanes, gbps)] = run_gemm(config, size, size, size)
-    return results
+    spec = build_sweep("pcie-bandwidth", size=size,
+                       lanes=LANES, speeds=SPEEDS)
+    return run_sweep(spec, **sweep_options()).results()
 
 
 def test_fig3_bandwidth_sweep(benchmark, repro_mode):

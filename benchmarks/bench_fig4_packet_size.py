@@ -9,10 +9,11 @@ paper's figure, so this experiment runs the wide-ingest systolic
 configuration (the link, not the array, must be the bottleneck).
 """
 
-from conftest import banner, scaled
+from conftest import banner, scaled, sweep_options
 
-from repro import SystemConfig, format_table, run_gemm
+from repro import SystemConfig, format_table
 from repro.accel.systolic import SystolicParams
+from repro.sweep import SweepSpec, gemm_points, run_sweep
 
 #: (label GB/s) -> (lanes, lane Gb/s); raw lane rate x lanes = 8 x label.
 LINKS = {
@@ -26,16 +27,20 @@ PACKETS = (64, 128, 256, 512, 1024, 2048, 4096)
 WIDE_SA = SystolicParams(ingest_elems=16)
 
 
-def _run_sweep(size: int) -> dict:
-    results = {}
+def _sweep_spec(size: int) -> SweepSpec:
+    configs = {}
     for label, (lanes, gbps) in LINKS.items():
         base = SystemConfig.table2_baseline(
             systolic=WIDE_SA
         ).with_pcie_bandwidth(lanes, gbps)
         for packet in PACKETS:
-            config = base.with_packet_size(packet)
-            results[(label, packet)] = run_gemm(config, size, size, size)
-    return results
+            configs[(label, packet)] = base.with_packet_size(packet)
+    return SweepSpec(name="fig4-packet-size",
+                     points=gemm_points(configs, size))
+
+
+def _run_sweep(size: int) -> dict:
+    return run_sweep(_sweep_spec(size), **sweep_options()).results()
 
 
 def test_fig4_packet_size_sweep(benchmark, repro_mode):

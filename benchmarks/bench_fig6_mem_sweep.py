@@ -18,11 +18,12 @@ core timings tCL/tRCD/tRP at fixed bandwidth.
 
 import dataclasses
 
-from conftest import banner, scaled
+from conftest import banner, scaled, sweep_options
 
-from repro import SystemConfig, format_table, run_gemm
+from repro import SystemConfig, format_table
 from repro.accel.systolic import SystolicParams
 from repro.memory.dram.devices import HBM2
+from repro.sweep import SweepSpec, gemm_points, run_sweep
 
 GB = 10**9
 #: Wide ingest so the array can consume ~50 GB/s, as in the paper's setup.
@@ -50,19 +51,32 @@ def _hbm_at_latency(lat_ns: int):
     )
 
 
-def _run_sweeps(size: int) -> tuple:
-    bw_results = {}
-    for bw in BANDWIDTHS:
-        config = SystemConfig.devmem_system(
+def _sweep_specs(size: int) -> tuple:
+    bw_configs = {
+        bw: SystemConfig.devmem_system(
             devmem=_hbm_at_bandwidth(bw), systolic=WIDE_SA
         )
-        bw_results[bw] = run_gemm(config, size, size, size)
-    lat_results = {}
-    for lat in LATENCIES:
-        config = SystemConfig.devmem_system(
+        for bw in BANDWIDTHS
+    }
+    lat_configs = {
+        lat: SystemConfig.devmem_system(
             devmem=_hbm_at_latency(lat), systolic=WIDE_SA
         )
-        lat_results[lat] = run_gemm(config, size, size, size)
+        for lat in LATENCIES
+    }
+    return (
+        SweepSpec(name="fig6a-mem-bandwidth",
+                  points=gemm_points(bw_configs, size)),
+        SweepSpec(name="fig6b-mem-latency",
+                  points=gemm_points(lat_configs, size)),
+    )
+
+
+def _run_sweeps(size: int) -> tuple:
+    bw_spec, lat_spec = _sweep_specs(size)
+    options = sweep_options()
+    bw_results = run_sweep(bw_spec, **options).results()
+    lat_results = run_sweep(lat_spec, **options).results()
     return bw_results, lat_results
 
 

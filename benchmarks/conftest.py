@@ -26,6 +26,21 @@ def scaled(reduced, full):
     return full if FULL else reduced
 
 
+def sweep_options() -> dict:
+    """Engine options for benchmark sweeps.
+
+    Workers come from ``$REPRO_SWEEP_WORKERS`` (serial by default so
+    pytest-benchmark timings measure the simulator, not the pool), and
+    the on-disk result cache is opt-in via ``REPRO_SWEEP_CACHE=1`` for
+    the same reason.  Cache keys include the full configuration and the
+    GEMM dimensions, so reduced and REPRO_FULL=1 runs never collide.
+    """
+    return {
+        "workers": None,
+        "cache": os.environ.get("REPRO_SWEEP_CACHE", "0") == "1",
+    }
+
+
 @pytest.fixture(scope="session")
 def repro_mode() -> str:
     return "paper-scale" if FULL else "reduced"

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Interconnect exploration: PCIe bandwidth and packet-size effects.
 
-A compact version of the paper's Fig. 3 and Fig. 4 studies:
+A compact version of the paper's Fig. 3 and Fig. 4 studies, driven
+through the sweep engine (``repro.sweep``):
 
 1. sweep the number of lanes and per-lane speed and watch GEMM execution
    time fall until the systolic array becomes the bottleneck;
@@ -9,45 +10,55 @@ A compact version of the paper's Fig. 3 and Fig. 4 studies:
    curve (small packets pay header overhead, large packets stall the
    store-and-forward hierarchy).
 
+Points shard across worker processes (``REPRO_SWEEP_WORKERS``, default:
+up to 4) and land in the on-disk result cache, so a second run of this
+script replays instantly.  See docs/SWEEPS.md.
+
 Run:  python examples/interconnect_exploration.py
 """
 
-from repro import SystemConfig, format_table, run_gemm
+import os
+
+from repro import SystemConfig, format_table
+from repro.sweep import WORKERS_ENV, build_sweep, run_sweep
 
 SIZE = 128
+#: $REPRO_SWEEP_WORKERS wins; otherwise up to 4 workers.
+WORKERS = (None if os.environ.get(WORKERS_ENV)
+           else min(4, os.cpu_count() or 1))
 
 
 def bandwidth_sweep() -> None:
     print("=" * 64)
     print(f"PCIe bandwidth sweep ({SIZE}x{SIZE} GEMM, Fig. 3 style)")
     print("=" * 64)
+    spec = build_sweep("pcie-bandwidth", size=SIZE)
+    report = run_sweep(spec, workers=WORKERS)
     rows = []
-    results = {}
-    for lanes in (2, 4, 8, 16):
-        for gbps in (2.0, 8.0, 32.0):
-            config = SystemConfig.table2_baseline().with_pcie_bandwidth(
-                lanes, gbps
+    ticks = {}
+    for outcome in report.outcomes:
+        lanes, gbps = outcome.key
+        result = outcome.result
+        ticks[outcome.key] = result.ticks
+        rows.append(
+            (
+                f"x{lanes}",
+                f"{gbps:g} Gb/s",
+                f"{outcome.point.config.pcie.effective_bytes_per_sec / 1e9:.1f}",
+                f"{result.seconds * 1e6:.1f}",
+                f"{result.delivered_bytes_per_sec / 1e9:.2f}",
             )
-            result = run_gemm(config, SIZE, SIZE, SIZE)
-            results[(lanes, gbps)] = result.ticks
-            rows.append(
-                (
-                    f"x{lanes}",
-                    f"{gbps:g} Gb/s",
-                    f"{config.pcie.effective_bytes_per_sec / 1e9:.1f}",
-                    f"{result.seconds * 1e6:.1f}",
-                    f"{result.delivered_bytes_per_sec / 1e9:.2f}",
-                )
-            )
+        )
     print(
         format_table(
             ["lanes", "lane rate", "link GB/s", "exec us", "delivered GB/s"],
             rows,
         )
     )
-    worst = max(results.values())
-    best = min(results.values())
+    worst = max(ticks.values())
+    best = min(ticks.values())
     print(f"\nBest configuration outperforms worst by {worst / best:.1f}x")
+    print(report.describe())
     print()
 
 
@@ -55,20 +66,21 @@ def packet_size_sweep() -> None:
     print("=" * 64)
     print(f"Packet-size sweep ({SIZE}x{SIZE} GEMM, Fig. 4 style)")
     print("=" * 64)
-    base = SystemConfig.pcie_8gb()
-    rows = []
-    times = {}
-    for packet in (64, 128, 256, 512, 1024, 2048, 4096):
-        config = base.with_packet_size(packet)
-        result = run_gemm(config, SIZE, SIZE, SIZE)
-        times[packet] = result.ticks
-        rows.append((packet, f"{result.seconds * 1e6:.1f}"))
+    spec = build_sweep("packet-size", base=SystemConfig.pcie_8gb(), size=SIZE)
+    report = run_sweep(spec, workers=WORKERS)
+    results = report.results()
+    times = {packet: result.ticks for packet, result in results.items()}
+    rows = [
+        (packet, f"{result.seconds * 1e6:.1f}")
+        for packet, result in results.items()
+    ]
     best_packet = min(times, key=times.get)
     print(format_table(["packet B", "exec us"], rows))
     print(f"\nOptimal packet size: {best_packet} B")
     for packet in (64, 4096):
         overhead = 100.0 * (times[packet] / times[best_packet] - 1)
         print(f"  {packet:5d} B costs {overhead:+.1f}% vs optimum")
+    print(report.describe())
 
 
 if __name__ == "__main__":

@@ -28,12 +28,25 @@ from repro import (
     run_gemm,
     run_vit,
 )
+from repro.sweep import build_sweep, run_sweep
 from repro.workloads import GemmWorkload
 
 
-def _system_by_name(name: str) -> SystemConfig:
+def _named_systems() -> dict:
+    """Every configuration reachable from the CLI, keyed by name.
+
+    The four paper systems, the Table II baseline, and the CXL
+    extension presets (cxl_host / devmem_cxl).
+    """
     systems = SystemConfig.paper_systems()
     systems["Table2"] = SystemConfig.table2_baseline()
+    systems["CXL-host"] = SystemConfig.cxl_host()
+    systems["DevMem-CXL"] = SystemConfig.devmem_cxl()
+    return systems
+
+
+def _system_by_name(name: str) -> SystemConfig:
+    systems = _named_systems()
     for key, config in systems.items():
         if key.lower() == name.lower():
             return config
@@ -44,9 +57,7 @@ def _system_by_name(name: str) -> SystemConfig:
 
 def cmd_systems(_args) -> int:
     rows = []
-    systems = SystemConfig.paper_systems()
-    systems["Table2"] = SystemConfig.table2_baseline()
-    for name, config in systems.items():
+    for name, config in _named_systems().items():
         mem = config.devmem if config.uses_device_memory else config.host_mem
         rows.append(
             (
@@ -101,27 +112,31 @@ def cmd_vit(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    size = args.size
+    base = _system_by_name(args.system)
     if args.kind == "bandwidth":
-        rows = []
-        for lanes in (2, 4, 8, 16):
-            for gbps in (2.0, 8.0, 32.0):
-                config = _system_by_name(args.system).with_pcie_bandwidth(
-                    lanes, gbps
-                )
-                result = run_gemm(config, size, size, size)
-                rows.append(
-                    (f"x{lanes}", f"{gbps:g}",
-                     f"{result.seconds * 1e6:.1f}")
-                )
+        spec = build_sweep("pcie-bandwidth", base=base, size=args.size)
+    else:
+        spec = build_sweep("packet-size", base=base, size=args.size)
+    report = run_sweep(
+        spec,
+        workers=args.workers,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+    results = report.results()
+    if args.kind == "bandwidth":
+        rows = [
+            (f"x{lanes}", f"{gbps:g}", f"{result.seconds * 1e6:.1f}")
+            for (lanes, gbps), result in results.items()
+        ]
         print(format_table(["lanes", "Gb/s/lane", "exec us"], rows))
     else:
-        rows = []
-        for packet in (64, 128, 256, 512, 1024, 2048, 4096):
-            config = _system_by_name(args.system).with_packet_size(packet)
-            result = run_gemm(config, size, size, size)
-            rows.append((packet, f"{result.seconds * 1e6:.1f}"))
+        rows = [
+            (packet, f"{result.seconds * 1e6:.1f}")
+            for packet, result in results.items()
+        ]
         print(format_table(["packet B", "exec us"], rows))
+    print(report.describe())
     return 0
 
 
@@ -158,6 +173,16 @@ def build_parser() -> argparse.ArgumentParser:
                          default="bandwidth")
     p_sweep.add_argument("--system", default="Table2")
     p_sweep.add_argument("--size", type=int, default=128)
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="process count for uncached points "
+                              "(default: $REPRO_SWEEP_WORKERS or serial)")
+    p_sweep.add_argument("--cache-dir", default=None,
+                         help="result cache location "
+                              "(default: $REPRO_SWEEP_CACHE_DIR or "
+                              "~/.cache/repro/sweeps)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="always re-simulate; do not read or "
+                              "write the result cache")
     p_sweep.set_defaults(func=cmd_sweep)
     return parser
 

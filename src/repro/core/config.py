@@ -21,6 +21,10 @@ paper assigns to each.
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
@@ -28,7 +32,6 @@ from repro.accel.systolic import SystolicParams
 from repro.cache.cache import CacheParams
 from repro.core.access_modes import AccessMode
 from repro.interconnect.pcie.link import PCIeConfig
-from repro.interconnect.pcie.tlp import TLPParams
 from repro.memory.dram.devices import DDR3_1600, DDR4_2400, HBM2
 from repro.memory.dram.timings import DRAMTimings
 from repro.sim.ticks import ns
@@ -205,36 +208,67 @@ class SystemConfig:
     def with_pcie_bandwidth(
         self, lanes: int, lane_gbps: float, encoding: Tuple[int, int] = (128, 130)
     ) -> "SystemConfig":
-        """Copy with a different PCIe link (Fig. 3 sweeps)."""
-        new_pcie = PCIeConfig(
-            lanes=lanes,
-            lane_gbps=lane_gbps,
-            encoding=encoding,
-            tlp=self.pcie.tlp,
-            rc_latency=self.pcie.rc_latency,
-            switch_latency=self.pcie.switch_latency,
-            rc_tlp_occupancy=self.pcie.rc_tlp_occupancy,
-            switch_tlp_occupancy=self.pcie.switch_tlp_occupancy,
-            hop_buffer_bytes=self.pcie.hop_buffer_bytes,
-            max_tags=self.pcie.max_tags,
+        """Copy with a different PCIe link (Fig. 3 sweeps).
+
+        Uses :func:`dataclasses.replace` so every field not named here --
+        including ones added to :class:`PCIeConfig` later -- carries over.
+        """
+        return self.with_(
+            pcie=replace(
+                self.pcie, lanes=lanes, lane_gbps=lane_gbps, encoding=encoding
+            )
         )
-        return self.with_(pcie=new_pcie)
 
     def with_packet_size(self, packet_size: int) -> "SystemConfig":
         """Copy with a different request packet size (Fig. 4 sweeps)."""
-        new_pcie = PCIeConfig(
-            lanes=self.pcie.lanes,
-            lane_gbps=self.pcie.lane_gbps,
-            encoding=self.pcie.encoding,
-            tlp=TLPParams(
-                max_payload=packet_size,
-                header_bytes=self.pcie.tlp.header_bytes,
-            ),
-            rc_latency=self.pcie.rc_latency,
-            switch_latency=self.pcie.switch_latency,
-            rc_tlp_occupancy=self.pcie.rc_tlp_occupancy,
-            switch_tlp_occupancy=self.pcie.switch_tlp_occupancy,
-            hop_buffer_bytes=self.pcie.hop_buffer_bytes,
-            max_tags=self.pcie.max_tags,
+        new_pcie = replace(
+            self.pcie, tlp=replace(self.pcie.tlp, max_payload=packet_size)
         )
         return self.with_(pcie=new_pcie, packet_size=packet_size)
+
+    # ------------------------------------------------------------------
+    # Canonical serialization and hashing (sweep cache keys)
+    # ------------------------------------------------------------------
+    def to_canonical(self) -> dict:
+        """A JSON-safe nested dict capturing every configuration field.
+
+        Nested dataclasses (cache/PCIe/DRAM/SMMU/systolic parameters) are
+        expanded recursively and enums collapse to their values, so two
+        configs are equal iff their canonical forms are equal.
+        """
+        return canonical_value(self)
+
+    def stable_hash(self) -> str:
+        """A hex digest stable across processes and interpreter runs.
+
+        Unlike ``hash()``, this does not depend on ``PYTHONHASHSEED``;
+        the sweep result cache uses it to key results on disk.
+        """
+        payload = json.dumps(
+            self.to_canonical(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def canonical_value(obj):
+    """Recursively convert ``obj`` into JSON-serializable primitives.
+
+    Dataclasses become ``{"__type__": name, **fields}``, enums their
+    ``.value``, tuples lists; scalars pass through.  Raises ``TypeError``
+    for anything else so un-hashable configuration never silently
+    aliases a cache entry.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__type__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = canonical_value(getattr(obj, f.name))
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [canonical_value(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(key): canonical_value(val) for key, val in sorted(obj.items())}
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")

@@ -219,7 +219,9 @@ def run_vit(
             run_nongemm_op(op)
 
     def account(op, elapsed: int) -> None:
-        result.op_ticks[op.name] = elapsed
+        # Ops may share a name (e.g. graphs built outside build_vit_graph);
+        # accumulate rather than overwrite so totals stay consistent.
+        result.op_ticks[op.name] = result.op_ticks.get(op.name, 0) + elapsed
         if isinstance(op, GemmOp):
             result.gemm_ticks += elapsed
         else:
@@ -294,6 +296,9 @@ def run_vit(
             f"ViT run stalled at op {state['index']}/{len(ops)}"
         )
     result.total_ticks = system.now
+    assert sum(result.op_ticks.values()) == (
+        result.gemm_ticks + result.nongemm_ticks
+    ), "per-op tick accounting drifted from the GEMM/non-GEMM totals"
     return result
 
 

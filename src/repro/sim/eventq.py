@@ -170,19 +170,40 @@ class Simulator:
         return self.now
 
     def run_until_idle(self, quiesce: Callable[[], bool], max_events: int = 10**9) -> int:
-        """Run until ``quiesce()`` returns True, checking after each event."""
+        """Run until ``quiesce()`` returns True, checking after each event.
+
+        Raises ``RuntimeError`` if the ``max_events`` budget is exhausted
+        before the system quiesces, or if time would move backwards --
+        the same monotonicity contract :meth:`run` enforces.
+        """
+        self._running = True
         executed = 0
         queue = self.queue
-        while executed < max_events:
-            if quiesce():
-                break
-            event = queue.pop()
-            if event is None:
-                break
-            self.now = event.when
-            event.callback()
-            executed += 1
-            self.events_executed += 1
+        try:
+            while True:
+                if quiesce():
+                    break
+                event = queue.pop()
+                if event is None:
+                    break
+                if event.when < self.now:
+                    raise RuntimeError(
+                        f"event {event.name!r} scheduled at {event.when} "
+                        f"but time already at {self.now}"
+                    )
+                self.now = event.when
+                event.callback()
+                executed += 1
+                self.events_executed += 1
+                if executed >= max_events:
+                    if not quiesce():
+                        raise RuntimeError(
+                            f"run_until_idle exhausted max_events="
+                            f"{max_events} before quiescing"
+                        )
+                    break
+        finally:
+            self._running = False
         return self.now
 
     @property

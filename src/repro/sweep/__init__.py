@@ -1,0 +1,69 @@
+"""Parallel sweep engine with on-disk result caching.
+
+Typical use::
+
+    from repro.sweep import SweepPoint, SweepSpec, run_sweep
+
+    points = [
+        SweepPoint(key=packet,
+                   config=base.with_packet_size(packet),
+                   params={"m": 128, "k": 128, "n": 128})
+        for packet in (64, 256, 1024)
+    ]
+    report = run_sweep(SweepSpec("packets", points), workers=4)
+    for key, result in report.results().items():
+        print(key, result.seconds)
+
+See docs/SWEEPS.md for the full story (worker selection, the cache
+directory, and how ``REPRO_FULL`` interacts with cache keys).
+"""
+
+from repro.sweep.cache import (
+    CACHE_DIR_ENV,
+    NullCache,
+    ResultCache,
+    code_version,
+    default_cache_dir,
+    point_key,
+)
+from repro.sweep.engine import (
+    WORKERS_ENV,
+    SweepOutcome,
+    SweepReport,
+    resolve_workers,
+    run_sweep,
+)
+from repro.sweep.spec import (
+    SWEEPS,
+    SweepPoint,
+    SweepSpec,
+    build_sweep,
+    derive_seed,
+    gemm_points,
+    register_runner,
+    register_sweep,
+    resolve_runner,
+)
+
+__all__ = [
+    "SweepPoint",
+    "SweepSpec",
+    "SweepOutcome",
+    "SweepReport",
+    "run_sweep",
+    "build_sweep",
+    "register_sweep",
+    "register_runner",
+    "resolve_runner",
+    "resolve_workers",
+    "gemm_points",
+    "derive_seed",
+    "ResultCache",
+    "NullCache",
+    "point_key",
+    "code_version",
+    "default_cache_dir",
+    "SWEEPS",
+    "CACHE_DIR_ENV",
+    "WORKERS_ENV",
+]

@@ -1,0 +1,206 @@
+"""Content-addressed on-disk cache for sweep results.
+
+Every cache entry is one JSON file named by the sha256 of the point's
+identity: the runner name, the full canonical :class:`SystemConfig`, the
+workload parameters, and a *code version* fingerprint (a digest over the
+``repro`` package sources).  Changing any configuration field, workload
+parameter, or simulator source line therefore changes the key and forces
+a re-simulation; nothing is ever served stale.
+
+The cache directory defaults to ``$REPRO_SWEEP_CACHE_DIR`` or
+``~/.cache/repro/sweeps``.  Writes go through a temp file + ``os.replace``
+so concurrent workers never observe a half-written entry.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import tempfile
+import types
+from pathlib import Path
+from typing import Optional
+
+import repro
+from repro.core.config import canonical_value
+
+from repro.sweep.spec import SweepPoint, resolve_runner
+
+#: Environment override for the default cache location.
+CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
+#: Bump to invalidate every existing entry on a format change.
+CACHE_FORMAT = 1
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro" / "sweeps"
+
+
+@functools.lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every ``repro`` source file (plus the package version).
+
+    Computed once per process; any edit to the simulator invalidates all
+    cached results, which keeps "cached" synonymous with "bit-identical
+    to a fresh run of this tree".
+    """
+    digest = hashlib.sha256()
+    digest.update(getattr(repro, "__version__", "0").encode("utf-8"))
+    package_root = Path(repro.__file__).resolve().parent
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def _runner_fingerprint(runner) -> str:
+    """An identity for the runner that keys the cache honestly.
+
+    Runners living inside the ``repro`` package are covered by
+    :func:`code_version`, so their dotted name suffices.  External
+    runners (bare callables, user-registered ones) additionally digest
+    their code object: editing such a runner's logic, or aliasing two
+    different callables under one ``__name__``, must miss the cache.
+
+    Known limit: only the runner's *own* code is digested, not helpers
+    it calls or globals it reads -- editing those keeps the old key.
+    When iterating on an external runner's support code, pass
+    ``cache=False`` (or clear the cache dir); see docs/SWEEPS.md.
+    """
+    fn = runner.run
+    module = getattr(fn, "__module__", "") or ""
+    ident = f"{module}.{getattr(fn, '__qualname__', runner.name)}"
+    if module != "repro" and not module.startswith("repro."):
+        code = getattr(fn, "__code__", None)
+        if code is not None:
+            digest = hashlib.sha256()
+            _digest_code(code, digest)
+            ident += f":{digest.hexdigest()[:16]}"
+    return ident
+
+
+def _digest_code(code, digest) -> None:
+    """Feed a code object into ``digest``, stable across processes.
+
+    Nested code objects (lambdas, comprehensions) recurse on their
+    bytecode -- their ``repr`` embeds a memory address and frozenset
+    consts iterate in hash-randomized order, so naive ``repr(co_consts)``
+    would change every interpreter run.
+    """
+    digest.update(code.co_code)
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            _digest_code(const, digest)
+        elif isinstance(const, frozenset):
+            digest.update(repr(sorted(const, key=repr)).encode("utf-8"))
+        else:
+            digest.update(repr(const).encode("utf-8"))
+
+
+def point_key(point: SweepPoint, runner, params: Optional[dict] = None) -> str:
+    """The content hash identifying one simulation point on disk.
+
+    ``params`` defaults to the point's own parameters; the engine passes
+    the seed-augmented set so auto-seeded runs key on the actual seed.
+    """
+    runner = resolve_runner(runner)
+    identity = {
+        "format": CACHE_FORMAT,
+        "runner": runner.name,
+        "runner_src": _runner_fingerprint(runner),
+        "config": point.config.to_canonical(),
+        "params": canonical_value(dict(params if params is not None
+                                       else point.params)),
+        "code": code_version(),
+    }
+    payload = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """A directory of ``<hash>.json`` result records."""
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None) -> None:
+        self.root = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored record for ``key``, or None (counted as a miss)."""
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            record = entry["record"]
+        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            # Unreadable, non-JSON, or wrong-shape entries (e.g. from an
+            # older format) all degrade to a re-simulation.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: dict, meta: Optional[dict] = None) -> None:
+        """Atomically persist ``record`` under ``key``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {"record": record, "meta": meta or {}}
+        payload = json.dumps(entry, sort_keys=True, indent=1)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+class NullCache:
+    """Cache interface that stores nothing (``--no-cache``)."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Optional[dict]:
+        self.misses += 1
+        return None
+
+    def put(self, key: str, record: dict, meta: Optional[dict] = None) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def clear(self) -> int:
+        return 0

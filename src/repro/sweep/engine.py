@@ -1,0 +1,303 @@
+"""The sweep executor: cache lookup, process-pool fan-out, fallback.
+
+:func:`run_sweep` drives a :class:`~repro.sweep.spec.SweepSpec` end to
+end:
+
+1. every point is hashed (config + params + runner + code version) and
+   looked up in the on-disk :class:`~repro.sweep.cache.ResultCache`;
+2. the remaining points are sharded across a ``multiprocessing`` pool
+   (``fork`` where available, ``spawn`` otherwise) -- each point is an
+   independent :class:`~repro.core.system.AcceSysSystem`, so points
+   never share simulator state and parallel results are bit-identical
+   to serial ones;
+3. fresh records are written back to the cache and decoded into the
+   same result type a cache hit yields.
+
+Worker count resolves from the ``workers`` argument, then the
+``REPRO_SWEEP_WORKERS`` environment variable, then 1 (serial).  Any
+failure to stand up the pool degrades gracefully to in-process serial
+execution rather than failing the sweep.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.sweep.cache import NullCache, ResultCache, point_key
+from repro.sweep.spec import (
+    Runner,
+    SweepPoint,
+    SweepSpec,
+    derive_seed,
+    resolve_runner,
+)
+
+#: Environment override for the default worker count.
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+@dataclass
+class SweepOutcome:
+    """One finished point: its decoded result plus cache provenance."""
+
+    point: SweepPoint
+    result: Any
+    record: dict
+    cached: bool
+    key_hash: str
+
+    @property
+    def key(self):
+        return self.point.key
+
+
+@dataclass
+class SweepReport:
+    """Everything :func:`run_sweep` learned, in point order."""
+
+    spec_name: str
+    outcomes: List[SweepOutcome] = field(default_factory=list)
+    workers: int = 1
+    parallel: bool = False
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def misses(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.cached)
+
+    @property
+    def fully_cached(self) -> bool:
+        return bool(self.outcomes) and self.misses == 0
+
+    def results(self) -> Dict[Any, Any]:
+        """Point key -> decoded result, preserving spec order."""
+        return {outcome.key: outcome.result for outcome in self.outcomes}
+
+    def describe(self) -> str:
+        mode = (f"{self.workers} workers" if self.parallel else "serial")
+        return (
+            f"sweep {self.spec_name!r}: {len(self.outcomes)} points, "
+            f"{self.hits} cached / {self.misses} simulated ({mode})"
+        )
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Explicit argument, else $REPRO_SWEEP_WORKERS, else serial.
+
+    A malformed environment value falls back to serial *loudly* -- a
+    typo must not silently turn a paper-scale sweep single-core.
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env is None:
+            workers = 1
+        else:
+            try:
+                workers = int(env)
+            except ValueError:
+                print(
+                    f"repro.sweep: ignoring invalid {WORKERS_ENV}="
+                    f"{env!r} (not an integer); running serial",
+                    file=sys.stderr,
+                )
+                workers = 1
+    return max(1, workers)
+
+
+def _point_params(spec: SweepSpec, point: SweepPoint) -> dict:
+    """The final runner kwargs for one point (auto-seed applied)."""
+    params = dict(point.params)
+    if spec.auto_seed and "seed" not in params:
+        params["seed"] = derive_seed(spec.base_seed, point)
+    return params
+
+
+def _simulate(runner: Runner, point: SweepPoint, params: dict) -> dict:
+    """Run one point and encode its result (this is the worker body)."""
+    result = runner.run(point.config, **params)
+    return runner.encode(result)
+
+
+@dataclass
+class _WorkerFailure:
+    """A simulation error, shipped back as a value so the parent can
+    tell runner bugs apart from pool-infrastructure failures."""
+
+    point_key: str
+    message: str
+    traceback: str
+
+    @classmethod
+    def capture(cls, point: SweepPoint, exc: Exception) -> "_WorkerFailure":
+        return cls(
+            point_key=repr(point.key),
+            message=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+        )
+
+
+def _pool_entry(payload) -> tuple:
+    """Module-level trampoline so the pool can pickle the work unit."""
+    index, runner_ref, point, params = payload
+    runner = resolve_runner(runner_ref)
+    try:
+        return index, _simulate(runner, point, params)
+    except Exception as exc:  # noqa: BLE001 - re-raised by the parent
+        return index, _WorkerFailure.capture(point, exc)
+
+
+def _run_parallel(jobs: List[tuple], workers: int) -> Optional[List[tuple]]:
+    """Shard ``jobs`` across a process pool; None means "fall back".
+
+    ``fork`` is preferred (no re-import, cheap start); platforms without
+    it use ``spawn``.  Pool-infrastructure failures -- unpicklable
+    payloads, an interpreter without ``multiprocessing`` support, a
+    sandbox that forbids subprocesses -- are caught and reported as a
+    fallback, because the serial path computes identical results.
+    Exceptions raised by the simulation itself come back as
+    :class:`_WorkerFailure` values mixed into the result list; the
+    engine caches the successful siblings and then raises, so a broken
+    point is never "fixed" by re-running everything serially.
+    """
+    try:
+        methods = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in methods else "spawn"
+        context = multiprocessing.get_context(method)
+        with context.Pool(processes=workers) as pool:
+            return pool.map(_pool_entry, jobs)
+    except Exception as exc:  # noqa: BLE001 - fallback is the contract
+        print(
+            f"repro.sweep: parallel execution unavailable ({exc!r}); "
+            f"falling back to serial",
+            file=sys.stderr,
+        )
+        return None
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: Optional[int] = None,
+    cache: Union[bool, ResultCache, NullCache] = True,
+    cache_dir: Optional[os.PathLike] = None,
+) -> SweepReport:
+    """Execute every point of ``spec``; replay cached points instantly.
+
+    Parameters
+    ----------
+    workers:
+        Process count for uncached points; ``None`` consults
+        ``$REPRO_SWEEP_WORKERS`` and defaults to serial.
+    cache:
+        ``True`` (default) uses the on-disk cache at ``cache_dir`` (or
+        its default location), ``False`` disables caching entirely, and
+        an explicit cache object is used as-is.
+    """
+    if isinstance(cache, bool):
+        store = ResultCache(cache_dir) if cache else NullCache()
+    else:
+        store = cache
+    runner = resolve_runner(spec.runner)
+    runner_ref = spec.runner  # name or callable; both pickle to workers
+    workers = resolve_workers(workers)
+
+    # Phase 1: cache lookups -------------------------------------------
+    slots: List[Optional[SweepOutcome]] = [None] * len(spec.points)
+    pending: List[tuple] = []
+    for index, point in enumerate(spec.points):
+        params = _point_params(spec, point)
+        key_hash = point_key(point, runner, params)
+        record = store.get(key_hash)
+        if record is not None:
+            slots[index] = SweepOutcome(
+                point=point,
+                result=runner.decode(record),
+                record=record,
+                cached=True,
+                key_hash=key_hash,
+            )
+        else:
+            pending.append((index, runner_ref, point, params, key_hash))
+
+    # Phase 2: simulate the misses -------------------------------------
+    fresh: Dict[int, dict] = {}
+    parallel = workers > 1 and len(pending) > 1
+    if parallel:
+        jobs = [(index, ref, point, params)
+                for index, ref, point, params, _ in pending]
+        mapped = _run_parallel(jobs, min(workers, len(jobs)))
+        if mapped is None:
+            parallel = False
+        else:
+            fresh = dict(mapped)
+    if not parallel:
+        for index, _ref, point, params, _hash in pending:
+            try:
+                fresh[index] = _simulate(runner, point, params)
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                # Fail fast, but still flow through phase 3 so already
+                # simulated points reach the cache before the raise.
+                fresh[index] = _WorkerFailure.capture(point, exc)
+                break
+
+    # Phase 3: write back and decode -----------------------------------
+    cache_write_failed = False
+    failures: List[_WorkerFailure] = []
+    for index, _ref, point, params, key_hash in pending:
+        record = fresh.get(index)
+        if record is None:
+            continue  # serial run aborted before reaching this point
+        if isinstance(record, _WorkerFailure):
+            failures.append(record)
+            continue
+        try:
+            store.put(
+                key_hash,
+                record,
+                meta={
+                    "sweep": spec.name,
+                    "point": repr(point.key),
+                    "config": point.config.name,
+                },
+            )
+        except (OSError, TypeError) as exc:
+            # A broken cache location (OSError) or a JSON-unsafe record
+            # from a codec-less runner (TypeError) must not discard
+            # finished work; report once and keep returning live results.
+            if not cache_write_failed:
+                print(
+                    f"repro.sweep: cannot write result cache ({exc}); "
+                    f"results will not be reusable",
+                    file=sys.stderr,
+                )
+                cache_write_failed = True
+        slots[index] = SweepOutcome(
+            point=point,
+            result=runner.decode(record),
+            record=record,
+            cached=False,
+            key_hash=key_hash,
+        )
+
+    if failures:
+        first = failures[0]
+        others = (f"\n({len(failures) - 1} more point(s) also failed)"
+                  if len(failures) > 1 else "")
+        raise RuntimeError(
+            f"sweep point {first.point_key} failed: {first.message}\n"
+            f"{first.traceback}{others}"
+        )
+
+    return SweepReport(
+        spec_name=spec.name,
+        outcomes=[slot for slot in slots if slot is not None],
+        workers=workers,
+        parallel=parallel,
+    )

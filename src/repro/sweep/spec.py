@@ -1,0 +1,262 @@
+"""Sweep descriptions: points, specs, and the experiment registry.
+
+A sweep is a grid of simulation points.  Each :class:`SweepPoint` pairs a
+:class:`~repro.core.config.SystemConfig` with the workload parameters of
+one run and a ``key`` that labels the point in reports (e.g. ``(lanes,
+gbps)`` for the Fig. 3 grid).  A :class:`SweepSpec` bundles the points
+with the *runner* that simulates one point.
+
+Runners are registered by name (:func:`register_runner`) so a point can
+be shipped to a worker process as plain data and resolved there; a
+module-level callable works too (pickled by reference), provided it
+returns a JSON-safe dict -- register a codec (``encode``/``decode``)
+for richer result types.  The built-in ``"gemm"`` runner drives
+:func:`repro.core.runner.run_gemm` and round-trips its result through
+the on-disk cache.
+
+Named experiments live in :data:`SWEEPS` via :func:`register_sweep`; the
+CLI and examples look sweeps up there instead of hand-rolling loops.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.core.config import SystemConfig, canonical_value
+from repro.core.runner import GemmResult, run_gemm
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a sweep grid.
+
+    ``key`` labels the point in reports and must be unique within a
+    spec; ``params`` are keyword arguments for the runner (e.g. GEMM
+    dimensions).  Both must canonicalize (see
+    :func:`repro.core.config.canonical_value`) so the point can be
+    hashed into a cache key.
+    """
+
+    key: Any
+    config: SystemConfig
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def canonical_params(self) -> dict:
+        return {name: canonical_value(value)
+                for name, value in sorted(self.params.items())}
+
+
+@dataclass
+class SweepSpec:
+    """A named grid of points plus the function that simulates one.
+
+    ``runner`` is either a name registered via :func:`register_runner`
+    or a module-level callable ``(config, **params) -> result``.
+    ``auto_seed`` injects a deterministic per-point ``seed`` parameter
+    (derived from ``base_seed``, the point key, and the config hash)
+    when the point does not set one itself.
+    """
+
+    name: str
+    points: List[SweepPoint]
+    runner: Union[str, Callable] = "gemm"
+    base_seed: int = 1234
+    auto_seed: bool = False
+
+    def __post_init__(self) -> None:
+        keys = [point.key for point in self.points]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"sweep {self.name!r} has duplicate point keys")
+        if isinstance(self.runner, str) and self.runner not in RUNNERS:
+            raise ValueError(
+                f"unknown runner {self.runner!r}; registered: {sorted(RUNNERS)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def derive_seed(base_seed: int, point: SweepPoint) -> int:
+    """A deterministic, per-point RNG seed.
+
+    Independent of point order (keyed on the point itself, not its
+    index) so inserting a point into a grid never reseeds its
+    neighbours.
+    """
+    tag = f"{base_seed}:{point.key!r}:{point.config.stable_hash()}"
+    return int.from_bytes(
+        hashlib.sha256(tag.encode("utf-8")).digest()[:4], "big"
+    ) & 0x7FFFFFFF
+
+
+# ----------------------------------------------------------------------
+# Runner registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Runner:
+    """A point simulator plus its cache codec.
+
+    ``encode`` turns the live result into a JSON-safe record (what the
+    cache stores); ``decode`` rebuilds a result object from a record so
+    cache hits and live runs hand callers the same type.
+    """
+
+    name: str
+    run: Callable[..., Any]
+    encode: Callable[[Any], dict]
+    decode: Callable[[dict], Any]
+
+
+RUNNERS: Dict[str, Runner] = {}
+
+
+def _default_encode(result: Any) -> dict:
+    """Codec for runners registered without one: dict records pass through."""
+    if isinstance(result, dict):
+        return result
+    raise TypeError(
+        f"runner returned {type(result).__name__}; runners without an "
+        f"encode/decode codec must return a JSON-safe dict -- use "
+        f"register_runner(name, run, encode, decode) for richer result types"
+    )
+
+
+def register_runner(
+    name: str,
+    run: Callable[..., Any],
+    encode: Optional[Callable[[Any], dict]] = None,
+    decode: Optional[Callable[[dict], Any]] = None,
+) -> Runner:
+    """Register a named point runner (last registration wins)."""
+    runner = Runner(
+        name=name,
+        run=run,
+        encode=encode or _default_encode,
+        decode=decode or (lambda record: record),
+    )
+    RUNNERS[name] = runner
+    return runner
+
+
+def resolve_runner(runner: Union[str, Callable, Runner]) -> Runner:
+    """Look up a registry name, or wrap a bare callable as identity-codec."""
+    if isinstance(runner, Runner):
+        return runner
+    if isinstance(runner, str):
+        return RUNNERS[runner]
+    if callable(runner):
+        return Runner(
+            name=getattr(runner, "__name__", "callable"),
+            run=runner,
+            encode=_default_encode,
+            decode=lambda record: record,
+        )
+    raise TypeError(f"runner must be a name or callable, got {runner!r}")
+
+
+# ----------------------------------------------------------------------
+# Built-in GEMM runner
+# ----------------------------------------------------------------------
+def _run_gemm_point(config: SystemConfig, **params) -> GemmResult:
+    return run_gemm(config, **params)
+
+
+def _encode_gemm(result: GemmResult) -> dict:
+    # c_matrix and table4 are deliberately not cached: functional output
+    # belongs to --verify runs and Table IV has its own harness.
+    return {
+        "config_name": result.config_name,
+        "m": result.m,
+        "k": result.k,
+        "n": result.n,
+        "ticks": result.ticks,
+        "job_ticks": result.job_ticks,
+        "traffic_bytes": result.traffic_bytes,
+        "component_stats": dict(result.component_stats),
+    }
+
+
+def _decode_gemm(record: dict) -> GemmResult:
+    return GemmResult(
+        config_name=record["config_name"],
+        m=record["m"],
+        k=record["k"],
+        n=record["n"],
+        ticks=record["ticks"],
+        job_ticks=record["job_ticks"],
+        traffic_bytes=record["traffic_bytes"],
+        component_stats=dict(record.get("component_stats", {})),
+    )
+
+
+register_runner("gemm", _run_gemm_point, _encode_gemm, _decode_gemm)
+
+
+# ----------------------------------------------------------------------
+# Experiment registry
+# ----------------------------------------------------------------------
+#: Named sweep factories: name -> callable(**kwargs) -> SweepSpec.
+SWEEPS: Dict[str, Callable[..., SweepSpec]] = {}
+
+
+def register_sweep(name: str):
+    """Decorator: register a factory that builds a named SweepSpec."""
+
+    def wrap(factory: Callable[..., SweepSpec]) -> Callable[..., SweepSpec]:
+        SWEEPS[name] = factory
+        return factory
+
+    return wrap
+
+
+def build_sweep(name: str, **kwargs) -> SweepSpec:
+    """Instantiate a registered sweep by name."""
+    try:
+        factory = SWEEPS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sweep {name!r}; registered: {sorted(SWEEPS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def gemm_points(
+    configs: Mapping[Any, SystemConfig], size: int
+) -> List[SweepPoint]:
+    """Points for a square-GEMM sweep over labelled configurations."""
+    return [
+        SweepPoint(key=key, config=config,
+                   params={"m": size, "k": size, "n": size})
+        for key, config in configs.items()
+    ]
+
+
+@register_sweep("pcie-bandwidth")
+def pcie_bandwidth_sweep(
+    base: Optional[SystemConfig] = None,
+    size: int = 128,
+    lanes: Tuple[int, ...] = (2, 4, 8, 16),
+    speeds: Tuple[float, ...] = (2.0, 8.0, 32.0),
+) -> SweepSpec:
+    """Fig. 3 style grid: lanes x per-lane speed at a fixed GEMM size."""
+    base = base or SystemConfig.table2_baseline()
+    configs = {
+        (lane_count, gbps): base.with_pcie_bandwidth(lane_count, gbps)
+        for lane_count in lanes
+        for gbps in speeds
+    }
+    return SweepSpec(name="pcie-bandwidth", points=gemm_points(configs, size))
+
+
+@register_sweep("packet-size")
+def packet_size_sweep(
+    base: Optional[SystemConfig] = None,
+    size: int = 128,
+    packets: Tuple[int, ...] = (64, 128, 256, 512, 1024, 2048, 4096),
+) -> SweepSpec:
+    """Fig. 4 style sweep: request packet size at a fixed link."""
+    base = base or SystemConfig.table2_baseline()
+    configs = {packet: base.with_packet_size(packet) for packet in packets}
+    return SweepSpec(name="packet-size", points=gemm_points(configs, size))

@@ -58,7 +58,47 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "non-GEMM" in out
 
-    def test_sweep_packet(self, capsys):
-        assert main(["sweep", "--kind", "packet", "--size", "32"]) == 0
+    def test_sweep_packet(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "--kind", "packet", "--size", "32",
+             "--cache-dir", str(tmp_path)]
+        ) == 0
         out = capsys.readouterr().out
         assert "4096" in out
+        assert "0 cached / 7 simulated" in out
+
+    def test_sweep_second_run_served_from_cache(self, capsys, tmp_path):
+        argv = ["sweep", "--kind", "packet", "--size", "32",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "7 cached / 0 simulated" in second
+        # The replayed table is byte-identical to the simulated one.
+        assert first.splitlines()[:-1] == second.splitlines()[:-1]
+
+    def test_sweep_no_cache(self, capsys, tmp_path):
+        argv = ["sweep", "--kind", "packet", "--size", "32",
+                "--cache-dir", str(tmp_path), "--no-cache"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 cached / 7 simulated" in out
+
+    def test_systems_lists_cxl_presets(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        assert "CXL-host" in out
+        assert "DevMem-CXL" in out
+
+    def test_gemm_on_cxl_host(self, capsys):
+        assert main(["gemm", "--system", "cxl-host", "--size", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "CXL-host" in out
+
+    def test_gemm_on_devmem_cxl(self, capsys):
+        assert main(["gemm", "--system", "DevMem-CXL", "--size", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "DevMem-CXL" in out

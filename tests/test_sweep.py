@@ -1,0 +1,500 @@
+"""Tests for the sweep engine (repro.sweep) and the PR's bugfixes.
+
+Covers:
+
+* parallel execution produces tick-identical results to serial,
+* on-disk cache hit/miss accounting and replay fidelity,
+* cache invalidation when any configuration field changes,
+* SystemConfig.stable_hash / canonical serialization,
+* regressions for run_until_idle, ViT op-tick accounting, and the
+  dataclasses.replace-based config copies.
+"""
+
+import dataclasses
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import SystemConfig
+from repro.core import runner as runner_mod
+from repro.core.config import canonical_value
+from repro.core.runner import run_vit
+from repro.sim.eventq import Simulator
+from repro.sweep import (
+    NullCache,
+    ResultCache,
+    SweepPoint,
+    SweepSpec,
+    build_sweep,
+    derive_seed,
+    gemm_points,
+    point_key,
+    run_sweep,
+)
+from repro.workloads.vit import build_vit_graph
+
+SIZE = 32
+
+
+def small_spec(packets=(64, 128, 256, 512), name="test-sweep") -> SweepSpec:
+    base = SystemConfig.table2_baseline()
+    configs = {packet: base.with_packet_size(packet) for packet in packets}
+    return SweepSpec(name=name, points=gemm_points(configs, SIZE))
+
+
+def ticks_of(report) -> dict:
+    return {key: result.ticks for key, result in report.results().items()}
+
+
+class TestParallelEqualsSerial:
+    def test_tick_identical_four_way(self, tmp_path):
+        spec = small_spec()
+        serial = run_sweep(spec, workers=1,
+                           cache_dir=tmp_path / "serial")
+        parallel = run_sweep(spec, workers=4,
+                             cache_dir=tmp_path / "parallel")
+        assert ticks_of(serial) == ticks_of(parallel)
+        # Full records match too, not just the headline tick count.
+        serial_records = {o.key: o.record for o in serial.outcomes}
+        parallel_records = {o.key: o.record for o in parallel.outcomes}
+        assert serial_records == parallel_records
+
+    def test_point_order_preserved(self, tmp_path):
+        spec = small_spec()
+        report = run_sweep(spec, workers=4, cache=False)
+        assert [o.key for o in report.outcomes] == [
+            p.key for p in spec.points
+        ]
+
+    def test_pool_failure_falls_back_to_serial(self, tmp_path, monkeypatch):
+        import repro.sweep.engine as engine
+
+        def broken_pool(jobs, workers):
+            return None  # what _run_parallel reports after an exception
+
+        monkeypatch.setattr(engine, "_run_parallel", broken_pool)
+        report = run_sweep(small_spec(), workers=4, cache=False)
+        assert not report.parallel
+        assert len(report.outcomes) == 4
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        spec = small_spec()
+        first = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        assert (first.hits, first.misses) == (0, 4)
+        second = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        assert (second.hits, second.misses) == (4, 0)
+        assert second.fully_cached
+        assert ticks_of(first) == ticks_of(second)
+
+    def test_cached_results_match_live_records(self, tmp_path):
+        spec = small_spec()
+        live = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        replay = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        for fresh, cached in zip(live.outcomes, replay.outcomes):
+            assert fresh.record == cached.record
+            assert fresh.result.seconds == cached.result.seconds
+            assert fresh.result.traffic_bytes == cached.result.traffic_bytes
+
+    def test_config_change_invalidates(self, tmp_path):
+        spec = small_spec(packets=(64, 128))
+        run_sweep(spec, workers=1, cache_dir=tmp_path)
+        # Same packets, but a different PCIe link: every point must miss.
+        base = SystemConfig.table2_baseline().with_pcie_bandwidth(8, 8.0)
+        changed = SweepSpec(
+            name="test-sweep",
+            points=gemm_points(
+                {p: base.with_packet_size(p) for p in (64, 128)}, SIZE
+            ),
+        )
+        report = run_sweep(changed, workers=1, cache_dir=tmp_path)
+        assert report.misses == 2 and report.hits == 0
+
+    def test_param_change_invalidates(self):
+        base = SystemConfig.table2_baseline()
+        point_a = SweepPoint(key=1, config=base,
+                             params={"m": 32, "k": 32, "n": 32})
+        point_b = SweepPoint(key=1, config=base,
+                             params={"m": 64, "k": 32, "n": 32})
+        assert point_key(point_a, "gemm") != point_key(point_b, "gemm")
+
+    def test_key_excludes_label(self):
+        base = SystemConfig.table2_baseline()
+        params = {"m": 32, "k": 32, "n": 32}
+        point_a = SweepPoint(key="left", config=base, params=params)
+        point_b = SweepPoint(key="right", config=base, params=params)
+        assert point_key(point_a, "gemm") == point_key(point_b, "gemm")
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        spec = small_spec(packets=(64,))
+        report = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        path = tmp_path / f"{report.outcomes[0].key_hash}.json"
+        path.write_text("{not json")
+        again = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        assert again.misses == 1
+        assert ticks_of(report) == ticks_of(again)
+
+    def test_no_cache_flag(self, tmp_path):
+        spec = small_spec(packets=(64,))
+        run_sweep(spec, workers=1, cache=False, cache_dir=tmp_path)
+        assert len(ResultCache(tmp_path)) == 0
+
+    def test_null_cache_interface(self):
+        cache = NullCache()
+        assert cache.get("deadbeef") is None
+        cache.put("deadbeef", {"ticks": 1})
+        assert len(cache) == 0
+
+    def test_clear(self, tmp_path):
+        spec = small_spec(packets=(64, 128))
+        run_sweep(spec, workers=1, cache_dir=tmp_path)
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestSpec:
+    def test_duplicate_keys_rejected(self):
+        base = SystemConfig.table2_baseline()
+        points = [
+            SweepPoint(key=1, config=base, params={}),
+            SweepPoint(key=1, config=base, params={}),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepSpec(name="dup", points=points)
+
+    def test_unknown_runner_rejected(self):
+        with pytest.raises(ValueError, match="unknown runner"):
+            SweepSpec(name="bad", points=[], runner="no-such-runner")
+
+    def test_registry_builds_cli_sweeps(self):
+        spec = build_sweep("packet-size", size=16, packets=(64, 128))
+        assert len(spec) == 2
+        with pytest.raises(ValueError, match="unknown sweep"):
+            build_sweep("no-such-sweep")
+
+    def test_derive_seed_deterministic_and_distinct(self):
+        base = SystemConfig.table2_baseline()
+        point_a = SweepPoint(key="a", config=base, params={})
+        point_b = SweepPoint(key="b", config=base, params={})
+        assert derive_seed(1, point_a) == derive_seed(1, point_a)
+        assert derive_seed(1, point_a) != derive_seed(1, point_b)
+        assert derive_seed(1, point_a) != derive_seed(2, point_a)
+
+
+class TestStableHash:
+    def test_equal_configs_equal_hash(self):
+        assert (SystemConfig.pcie_8gb().stable_hash()
+                == SystemConfig.pcie_8gb().stable_hash())
+
+    def test_any_field_changes_hash(self):
+        base = SystemConfig.table2_baseline()
+        variants = [
+            base.with_packet_size(512),
+            base.with_pcie_bandwidth(8, 8.0),
+            base.with_(dma_channels=8),
+            base.with_(smmu=None),
+            SystemConfig.devmem_system(),
+        ]
+        hashes = {base.stable_hash()} | {v.stable_hash() for v in variants}
+        assert len(hashes) == len(variants) + 1
+
+    def test_canonical_is_json_safe(self):
+        import json
+
+        for config in SystemConfig.paper_systems().values():
+            json.dumps(config.to_canonical())
+
+    def test_canonical_rejects_opaque_objects(self):
+        with pytest.raises(TypeError):
+            canonical_value(object())
+
+
+class TestRunUntilIdleRegression:
+    def test_raises_on_time_travel(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        # Bypass the schedule() guard, as a buggy component could.
+        sim.queue.push(5, lambda: None)
+        with pytest.raises(RuntimeError, match="time already at"):
+            sim.run_until_idle(lambda: False)
+
+    def test_raises_on_exhausted_budget(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1, reschedule)
+
+        sim.schedule(1, reschedule)
+        with pytest.raises(RuntimeError, match="max_events"):
+            sim.run_until_idle(lambda: False, max_events=10)
+
+    def test_budget_ok_when_quiesced_at_limit(self):
+        sim = Simulator()
+        seen = []
+        for t in (1, 2):
+            sim.schedule(t, lambda t=t: seen.append(t))
+        sim.run_until_idle(lambda: len(seen) == 2, max_events=2)
+        assert seen == [1, 2]
+
+
+class TestAccountRegression:
+    def test_duplicate_op_names_accumulate(self, monkeypatch):
+        real_build = build_vit_graph
+
+        def collapse_names(config):
+            graph = real_build(config)
+            graph.ops = [
+                dataclasses.replace(op, name="op") for op in graph.ops
+            ]
+            return graph
+
+        monkeypatch.setattr(runner_mod, "build_vit_graph", collapse_names)
+        result = run_vit(SystemConfig.pcie_8gb(), "base", dim_scale=0.0625)
+        # Every op shares one name; the single bucket must hold the total.
+        assert set(result.op_ticks) == {"op"}
+        assert result.op_ticks["op"] == (
+            result.gemm_ticks + result.nongemm_ticks
+        )
+
+    def test_op_ticks_sum_to_totals(self):
+        result = run_vit(SystemConfig.pcie_8gb(), "base", dim_scale=0.0625)
+        assert sum(result.op_ticks.values()) == (
+            result.gemm_ticks + result.nongemm_ticks
+        )
+
+
+class TestConfigCopyRegression:
+    def test_with_pcie_bandwidth_preserves_other_fields(self):
+        base = SystemConfig.table2_baseline().with_(
+            pcie=dataclasses.replace(
+                SystemConfig.table2_baseline().pcie,
+                rc_latency=12345,
+                hop_buffer_bytes=2048,
+                max_tags=7,
+            )
+        )
+        swept = base.with_pcie_bandwidth(16, 32.0, encoding=(242, 256))
+        # Undoing exactly the fields the sweep sets must give back the
+        # original, so no PCIeConfig field can silently drift.
+        assert dataclasses.replace(
+            swept.pcie,
+            lanes=base.pcie.lanes,
+            lane_gbps=base.pcie.lane_gbps,
+            encoding=base.pcie.encoding,
+        ) == base.pcie
+
+    def test_with_packet_size_preserves_other_fields(self):
+        base = SystemConfig.pcie_8gb().with_(
+            pcie=dataclasses.replace(
+                SystemConfig.pcie_8gb().pcie,
+                switch_latency=999,
+                rc_tlp_occupancy=17,
+            )
+        )
+        swept = base.with_packet_size(1024)
+        assert swept.packet_size == 1024
+        assert swept.pcie.tlp.max_payload == 1024
+        assert swept.pcie.tlp.header_bytes == base.pcie.tlp.header_bytes
+        assert dataclasses.replace(
+            swept.pcie, tlp=base.pcie.tlp
+        ) == base.pcie
+
+
+class TestBrokenCacheLocation:
+    def test_unwritable_cache_dir_degrades_gracefully(self, tmp_path, capsys):
+        not_a_dir = tmp_path / "cachefile"
+        not_a_dir.write_text("occupied")
+        spec = small_spec(packets=(64,))
+        report = run_sweep(spec, workers=1, cache_dir=not_a_dir)
+        assert report.misses == 1
+        assert report.outcomes[0].result.ticks > 0
+        assert "cannot write result cache" in capsys.readouterr().err
+
+
+def _dict_runner(config, **params):
+    """A bare module-level runner returning a JSON-safe record."""
+    return {"name": config.name, "m": params.get("m", 0)}
+
+
+def _rich_runner(config, **params):
+    """A bare runner returning a non-dict (violates the codec contract)."""
+    return object()
+
+
+def _failing_runner(config, **params):
+    raise ValueError("boom at this point")
+
+
+class TestBareCallableRunners:
+    def test_dict_returning_callable_works(self, tmp_path):
+        base = SystemConfig.table2_baseline()
+        points = [SweepPoint(key=i, config=base, params={"m": i})
+                  for i in (1, 2)]
+        spec = SweepSpec("bare", points, runner=_dict_runner)
+        report = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        assert report.results()[2] == {"name": base.name, "m": 2}
+        replay = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        assert replay.fully_cached
+        assert replay.results() == report.results()
+
+    def test_non_dict_result_raises_clear_error(self):
+        base = SystemConfig.table2_baseline()
+        spec = SweepSpec(
+            "rich", [SweepPoint(key=1, config=base)], runner=_rich_runner
+        )
+        with pytest.raises(RuntimeError, match="JSON-safe dict"):
+            run_sweep(spec, workers=1, cache=False)
+
+    def test_worker_failure_propagates_without_serial_rerun(self, capsys):
+        base = SystemConfig.table2_baseline()
+        points = [SweepPoint(key=i, config=base) for i in range(3)]
+        spec = SweepSpec("fail", points, runner=_failing_runner)
+        with pytest.raises(RuntimeError, match="boom at this point"):
+            run_sweep(spec, workers=2, cache=False)
+        # A runner bug must not masquerade as a pool failure.
+        assert "falling back to serial" not in capsys.readouterr().err
+
+
+def _versioned_runner_v1(config, **params):
+    return {"version": 1}
+
+
+def _versioned_runner_v2(config, **params):
+    return {"version": 2}
+
+
+class TestExternalRunnerCacheKeys:
+    def test_distinct_external_callables_never_alias(self):
+        base = SystemConfig.table2_baseline()
+        point = SweepPoint(key=1, config=base, params={"m": 8})
+        # Same __name__, different logic: keys must differ.
+        v2 = _versioned_runner_v2
+        v2.__name__ = _versioned_runner_v1.__name__
+        assert (point_key(point, _versioned_runner_v1)
+                != point_key(point, v2))
+
+    def test_builtin_runner_key_stable(self):
+        base = SystemConfig.table2_baseline()
+        point = SweepPoint(key=1, config=base, params={"m": 8})
+        assert point_key(point, "gemm") == point_key(point, "gemm")
+
+
+class TestWrongShapeCacheEntry:
+    def test_valid_json_wrong_shape_is_a_miss(self, tmp_path):
+        spec = small_spec(packets=(64,))
+        report = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        path = tmp_path / f"{report.outcomes[0].key_hash}.json"
+        for payload in ("null", "[]", "{}"):
+            path.write_text(payload)
+            again = run_sweep(spec, workers=1, cache_dir=tmp_path)
+            assert again.misses == 1, payload
+            assert ticks_of(again) == ticks_of(report)
+
+
+def _runner_fails_on_two(config, **params):
+    if params["m"] == 2:
+        raise ValueError("point two is broken")
+    return {"m": params["m"]}
+
+
+class TestSiblingResultsSurviveFailure:
+    def test_parallel_failure_caches_successful_siblings(self, tmp_path):
+        base = SystemConfig.table2_baseline()
+        points = [SweepPoint(key=i, config=base, params={"m": i})
+                  for i in (1, 2, 3)]
+        spec = SweepSpec("partial", points, runner=_runner_fails_on_two)
+        with pytest.raises(RuntimeError, match="point two is broken"):
+            run_sweep(spec, workers=2, cache_dir=tmp_path)
+        # The good siblings were cached: re-running only them is free.
+        good = SweepSpec(
+            "partial", [points[0], points[2]], runner=_runner_fails_on_two
+        )
+        replay = run_sweep(good, workers=1, cache_dir=tmp_path)
+        assert replay.fully_cached
+
+    def test_serial_failure_caches_earlier_points(self, tmp_path):
+        base = SystemConfig.table2_baseline()
+        points = [SweepPoint(key=i, config=base, params={"m": i})
+                  for i in (1, 2)]
+        spec = SweepSpec("partial-serial", points,
+                         runner=_runner_fails_on_two)
+        with pytest.raises(RuntimeError, match="point two is broken"):
+            run_sweep(spec, workers=1, cache_dir=tmp_path)
+        first_only = SweepSpec(
+            "partial-serial", [points[0]], runner=_runner_fails_on_two
+        )
+        assert run_sweep(first_only, workers=1,
+                         cache_dir=tmp_path).fully_cached
+
+
+def _lambda_runner(config, **params):
+    pick = lambda values: sorted(values)[0]  # noqa: E731 - nested code const
+    return {"first": pick([params["m"], 99])}
+
+
+class TestFingerprintStability:
+    def test_lambda_runner_fingerprint_stable_across_processes(self, tmp_path):
+        import subprocess
+        import sys
+
+        prog = (
+            "from repro import SystemConfig\n"
+            "from repro.sweep import SweepPoint, point_key\n"
+            "import test_sweep\n"
+            "p = SweepPoint(key=1, config=SystemConfig.table2_baseline(),\n"
+            "               params={'m': 8})\n"
+            "print(point_key(p, test_sweep._lambda_runner))\n"
+        )
+        keys = set()
+        for _ in range(2):
+            out = subprocess.run(
+                [sys.executable, "-c", prog],
+                capture_output=True, text=True, check=True,
+                cwd=str(Path(__file__).parent),
+                env={**os.environ,
+                     "PYTHONPATH": str(Path(__file__).parents[1] / "src"),
+                     "PYTHONHASHSEED": "random"},
+            )
+            keys.add(out.stdout.strip())
+        assert len(keys) == 1, keys
+
+
+def _numpy_record_runner(config, **params):
+    import numpy as np
+
+    return {"ticks": np.int64(5)}
+
+
+class TestJsonUnsafeRecord:
+    def test_unserializable_record_keeps_results(self, tmp_path, capsys):
+        base = SystemConfig.table2_baseline()
+        spec = SweepSpec(
+            "np", [SweepPoint(key=1, config=base)],
+            runner=_numpy_record_runner,
+        )
+        report = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        assert report.outcomes[0].record["ticks"] == 5
+        assert "cannot write result cache" in capsys.readouterr().err
+
+
+class TestWorkersEnv:
+    def test_invalid_env_warns_and_runs_serial(self, monkeypatch, capsys):
+        from repro.sweep import WORKERS_ENV, resolve_workers
+
+        monkeypatch.setenv(WORKERS_ENV, "8x")
+        assert resolve_workers(None) == 1
+        assert "invalid" in capsys.readouterr().err
+
+    def test_valid_env_and_unset(self, monkeypatch, capsys):
+        from repro.sweep import WORKERS_ENV, resolve_workers
+
+        monkeypatch.setenv(WORKERS_ENV, "6")
+        assert resolve_workers(None) == 6
+        monkeypatch.delenv(WORKERS_ENV)
+        assert resolve_workers(None) == 1
+        assert capsys.readouterr().err == ""

@@ -10,36 +10,22 @@ calls out in the controller.
   compute; depth 1 serializes them.
 * **DMA tags**: the outstanding-request budget sets the bandwidth-delay
   product the link can sustain.
+
+Runs through the ``ablation-dataflow`` registered sweep.
 """
 
-from conftest import banner, scaled
+from conftest import banner, scaled, sweep_options
 
-from repro import SystemConfig, format_table, run_gemm
+from repro import format_table
+from repro.sweep import build_sweep, run_sweep
 
 
 def test_ablation_dataflow(benchmark, repro_mode):
     size = scaled(128, 1024)
-    base = SystemConfig.pcie_2gb()
 
     def run_all():
-        out = {}
-        out["baseline (stream)"] = run_gemm(base, size, size, size)
-        out["reuse A panels"] = run_gemm(
-            base.with_(reuse_a_panels=True), size, size, size
-        )
-        out["prefetch depth 1"] = run_gemm(
-            base.with_(prefetch_depth=1), size, size, size
-        )
-        out["prefetch depth 4"] = run_gemm(
-            base.with_(prefetch_depth=4), size, size, size
-        )
-        out["1 DMA tag"] = run_gemm(
-            base.with_(dma_tags=1), size, size, size
-        )
-        out["32 DMA tags"] = run_gemm(
-            base.with_(dma_tags=32), size, size, size
-        )
-        return out
+        spec = build_sweep("ablation-dataflow", size=size)
+        return run_sweep(spec, **sweep_options()).results()
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
 

@@ -4,12 +4,15 @@ Not a paper figure: quantifies the translation-hardware sizing behind
 Table IV.  Shrinking the uTLB raises miss counts (more main-TLB stalls);
 shrinking the main TLB below the footprint recreates the paper's
 PTW cliff at any problem size.
+
+Runs through the ``ablation-smmu`` registered sweep; the Table IV
+metrics ride inside each cached GEMM record.
 """
 
-from conftest import banner, scaled
+from conftest import banner, scaled, sweep_options
 
-from repro import SystemConfig, format_table, run_gemm
-from repro.smmu.smmu import SMMUConfig
+from repro import format_table
+from repro.sweep import build_sweep, run_sweep
 
 
 def test_ablation_smmu_sizing(benchmark, repro_mode):
@@ -17,23 +20,8 @@ def test_ablation_smmu_sizing(benchmark, repro_mode):
     footprint_pages = 3 * size * size * 4 // 4096
 
     def run_all():
-        out = {}
-        for utlb in (8, 32, 128):
-            config = SystemConfig.pcie_2gb(
-                smmu=SMMUConfig(utlb_entries=utlb)
-            )
-            out[f"uTLB {utlb}"] = run_gemm(config, size, size, size)
-        # Main TLB below/above the footprint (power-of-two sizes).  A
-        # 1-entry uTLB exposes every page transition to the main TLB so
-        # its capacity, not uTLB locality, is what is measured.
-        small_tlb = max(8, 1 << max(0, footprint_pages // 4).bit_length())
-        for tlb, label in ((small_tlb, "thrash"), (4096, "fits")):
-            config = SystemConfig.pcie_2gb(
-                smmu=SMMUConfig(utlb_entries=1, tlb_entries=tlb,
-                                tlb_assoc=min(8, tlb))
-            )
-            out[f"TLB {tlb} ({label})"] = run_gemm(config, size, size, size)
-        return out
+        spec = build_sweep("ablation-smmu", size=size)
+        return run_sweep(spec, **sweep_options()).results()
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
 

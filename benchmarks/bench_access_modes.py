@@ -3,32 +3,22 @@
 Not a numbered figure, but the paper's core framework claim: the three
 memory access methods trade cache help (DC), path length (DM) and
 interconnect avoidance (DevMem).  This bench runs the same GEMM under all
-three and reports the path statistics that explain the differences.
+three (the ``access-modes`` registered sweep) and reports the path
+statistics that explain the differences.
 """
 
-from conftest import banner, scaled
+from conftest import banner, scaled, sweep_options
 
-from repro import AccessMode, SystemConfig, format_table, run_gemm
+from repro import format_table
+from repro.sweep import build_sweep, run_sweep
 
 
 def test_access_modes(benchmark, repro_mode):
     size = scaled(128, 1024)
 
     def run_all():
-        out = {}
-        out["DC"] = run_gemm(
-            SystemConfig.table2_baseline(), size, size, size
-        )
-        out["DM"] = run_gemm(
-            SystemConfig.table2_baseline(
-                access_mode=AccessMode.DIRECT_MEMORY
-            ),
-            size, size, size,
-        )
-        out["DevMem"] = run_gemm(
-            SystemConfig.devmem_system(), size, size, size
-        )
-        return out
+        spec = build_sweep("access-modes", size=size)
+        return run_sweep(spec, **sweep_options()).results()
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
 

@@ -10,24 +10,22 @@ complex -- targets exactly that path.  This bench quantifies the what-if:
 * DevMem non-GEMM (the Fig. 8 penalty): CXL cuts the NUMA penalty by
   several fold, moving DevMem from "slightly worse than PCIe-64GB" to
   competitive at much higher non-GEMM fractions.
+
+Runs through two registered sweeps (one per runner): ``ext-cxl-gemm``
+and ``ext-cxl-vit``.
 """
 
-from conftest import banner, scaled
+from conftest import banner, scaled, sweep_options
 
-from repro import SystemConfig, format_table, run_gemm, run_vit
-from repro.workloads import ViTConfig
-
-VIT_MODEL = ViTConfig("bench-tiny", hidden=128, layers=2, heads=4,
-                      image_size=96, patch_size=16)
+from repro import format_table
+from repro.sweep import build_sweep, run_sweep
 
 
 def _run_study(size: int) -> dict:
-    out = {}
-    out["gemm_pcie"] = run_gemm(SystemConfig.pcie_64gb(), size, size, size)
-    out["gemm_cxl"] = run_gemm(SystemConfig.cxl_host(), size, size, size)
-    out["vit_host"] = run_vit(SystemConfig.pcie_64gb(), VIT_MODEL)
-    out["vit_devmem_pcie"] = run_vit(SystemConfig.devmem_system(), VIT_MODEL)
-    out["vit_devmem_cxl"] = run_vit(SystemConfig.devmem_cxl(), VIT_MODEL)
+    options = sweep_options()
+    out = dict(run_sweep(build_sweep("ext-cxl-gemm", size=size),
+                         **options).results())
+    out.update(run_sweep(build_sweep("ext-cxl-vit"), **options).results())
     return out
 
 

@@ -11,36 +11,17 @@ configuration (the link, not the array, must be the bottleneck).
 
 from conftest import banner, scaled, sweep_options
 
-from repro import SystemConfig, format_table
-from repro.accel.systolic import SystolicParams
-from repro.sweep import SweepSpec, gemm_points, run_sweep
-
-#: (label GB/s) -> (lanes, lane Gb/s); raw lane rate x lanes = 8 x label.
-LINKS = {
-    4: (8, 4.0),
-    8: (8, 8.0),
-    16: (8, 16.0),
-    32: (8, 32.0),
-    64: (8, 64.0),
-}
-PACKETS = (64, 128, 256, 512, 1024, 2048, 4096)
-WIDE_SA = SystolicParams(ingest_elems=16)
-
-
-def _sweep_spec(size: int) -> SweepSpec:
-    configs = {}
-    for label, (lanes, gbps) in LINKS.items():
-        base = SystemConfig.table2_baseline(
-            systolic=WIDE_SA
-        ).with_pcie_bandwidth(lanes, gbps)
-        for packet in PACKETS:
-            configs[(label, packet)] = base.with_packet_size(packet)
-    return SweepSpec(name="fig4-packet-size",
-                     points=gemm_points(configs, size))
+from repro import format_table
+from repro.sweep import build_sweep, run_sweep
+from repro.sweep.experiments import (
+    FIG4_LINKS as LINKS,
+    FIG4_PACKETS as PACKETS,
+)
 
 
 def _run_sweep(size: int) -> dict:
-    return run_sweep(_sweep_spec(size), **sweep_options()).results()
+    spec = build_sweep("fig4-packet-grid", size=size)
+    return run_sweep(spec, **sweep_options()).results()
 
 
 def test_fig4_packet_size_sweep(benchmark, repro_mode):

@@ -15,35 +15,14 @@ the memory system is the binding constraint, as in the paper's setup.
 
 from conftest import banner, scaled, sweep_options
 
-from repro import AccessMode, SystemConfig, format_table
-from repro.accel.systolic import SystolicParams
-from repro.memory.dram.devices import DDR4_2400, GDDR5, HBM2, LPDDR5
-from repro.sweep import SweepSpec, gemm_points, run_sweep
-
-MEMORIES = (DDR4_2400, HBM2, GDDR5, LPDDR5)
-WIDE_SA = SystolicParams(ingest_elems=8)
-
-
-def _study_spec(size: int) -> SweepSpec:
-    configs = {}
-    for mem in MEMORIES:
-        configs[(mem.name, "device")] = SystemConfig.devmem_system(
-            devmem=mem, systolic=WIDE_SA
-        )
-        configs[(mem.name, "host-2GB")] = SystemConfig.pcie_2gb(
-            host_mem=mem, systolic=WIDE_SA,
-            access_mode=AccessMode.DIRECT_MEMORY,
-        )
-        configs[(mem.name, "host-64GB")] = SystemConfig.pcie_64gb(
-            host_mem=mem, systolic=WIDE_SA,
-            access_mode=AccessMode.DIRECT_MEMORY,
-        )
-    return SweepSpec(name="fig5-memory-location",
-                     points=gemm_points(configs, size))
+from repro import format_table
+from repro.sweep import build_sweep, run_sweep
+from repro.sweep.experiments import FIG5_MEMORIES as MEMORIES
 
 
 def _run_study(size: int) -> dict:
-    return run_sweep(_study_spec(size), **sweep_options()).results()
+    spec = build_sweep("fig5-memory", size=size)
+    return run_sweep(spec, **sweep_options()).results()
 
 
 def test_fig5_memory_location(benchmark, repro_mode):

@@ -16,67 +16,24 @@ rate (and thus peak bandwidth) of an HBM2-class device, (b) scales the
 core timings tCL/tRCD/tRP at fixed bandwidth.
 """
 
-import dataclasses
-
 from conftest import banner, scaled, sweep_options
 
-from repro import SystemConfig, format_table
-from repro.accel.systolic import SystolicParams
-from repro.memory.dram.devices import HBM2
-from repro.sweep import SweepSpec, gemm_points, run_sweep
-
-GB = 10**9
-#: Wide ingest so the array can consume ~50 GB/s, as in the paper's setup.
-WIDE_SA = SystolicParams(ingest_elems=6)
-BANDWIDTHS = (2, 4, 8, 16, 25, 50, 100, 256)
-LATENCIES = (1, 3, 6, 12, 24, 36)
-
-
-def _hbm_at_bandwidth(bw_gb: int):
-    """HBM2-class device scaled to a total bandwidth of ``bw_gb`` GB/s."""
-    rate = bw_gb * GB // (HBM2.channels * HBM2.data_width_bits // 8)
-    return dataclasses.replace(HBM2, name=f"HBM2-{bw_gb}GBs",
-                               data_rate_mts=max(1, rate // 10**6))
-
-
-def _hbm_at_latency(lat_ns: int):
-    """HBM2-class device with core timings scaled to ``lat_ns``."""
-    return dataclasses.replace(
-        HBM2,
-        name=f"HBM2-{lat_ns}ns",
-        t_cl=float(lat_ns),
-        t_rcd=float(lat_ns),
-        t_rp=float(lat_ns),
-        t_ras=float(2 * lat_ns + 5),
-    )
-
-
-def _sweep_specs(size: int) -> tuple:
-    bw_configs = {
-        bw: SystemConfig.devmem_system(
-            devmem=_hbm_at_bandwidth(bw), systolic=WIDE_SA
-        )
-        for bw in BANDWIDTHS
-    }
-    lat_configs = {
-        lat: SystemConfig.devmem_system(
-            devmem=_hbm_at_latency(lat), systolic=WIDE_SA
-        )
-        for lat in LATENCIES
-    }
-    return (
-        SweepSpec(name="fig6a-mem-bandwidth",
-                  points=gemm_points(bw_configs, size)),
-        SweepSpec(name="fig6b-mem-latency",
-                  points=gemm_points(lat_configs, size)),
-    )
+from repro import format_table
+from repro.sweep import build_sweep, run_sweep
+from repro.sweep.experiments import (
+    FIG6_BANDWIDTHS as BANDWIDTHS,
+    FIG6_LATENCIES as LATENCIES,
+)
 
 
 def _run_sweeps(size: int) -> tuple:
-    bw_spec, lat_spec = _sweep_specs(size)
     options = sweep_options()
-    bw_results = run_sweep(bw_spec, **options).results()
-    lat_results = run_sweep(lat_spec, **options).results()
+    bw_results = run_sweep(
+        build_sweep("fig6a-mem-bandwidth", size=size), **options
+    ).results()
+    lat_results = run_sweep(
+        build_sweep("fig6b-mem-latency", size=size), **options
+    ).results()
     return bw_results, lat_results
 
 

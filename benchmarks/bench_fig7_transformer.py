@@ -6,13 +6,16 @@ Paper setup: ViT-Base/Large/Huge on the four Section V-C systems
 PCIe-64GB despite its superior GEMM performance, because non-GEMM
 operators pay the NUMA penalty.
 
+Runs through the ``fig7-transformer`` registered sweep (the ``"vit"``
+runner), so points parallelize and cache exactly like the GEMM figures.
 Reduced mode scales hidden dimensions by 1/4 and coarsens the DMA event
 granularity; REPRO_FULL=1 runs all three models at full dimensions.
 """
 
-from conftest import FULL, banner
+from conftest import FULL, banner, sweep_options
 
-from repro import SystemConfig, format_table, run_vit
+from repro import format_table
+from repro.sweep import build_sweep, run_sweep
 
 MODELS_REDUCED = ("base", "large")
 MODELS_FULL = ("base", "large", "huge")
@@ -21,16 +24,9 @@ SEGMENT = 4096 if FULL else 16384
 
 
 def _run_matrix(models) -> dict:
-    systems = SystemConfig.paper_systems()
-    results = {}
-    for model in models:
-        for name, config in systems.items():
-            results[(model, name)] = run_vit(
-                config.with_(dma_segment_bytes=SEGMENT),
-                model,
-                dim_scale=DIM_SCALE,
-            )
-    return results
+    spec = build_sweep("fig7-transformer", models=models,
+                       dim_scale=DIM_SCALE, segment=SEGMENT)
+    return run_sweep(spec, **sweep_options()).results()
 
 
 def test_fig7_transformer(benchmark, repro_mode):

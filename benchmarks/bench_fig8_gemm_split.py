@@ -5,11 +5,15 @@ Expected shape: DevMem delivers the best GEMM times (device-side HBM2
 feeding the array directly) but the *worst* non-GEMM times -- up to
 ~500% over the PCIe-host systems -- because the CPU's uncached accesses
 to device memory cross the PCIe hierarchy line by line.
+
+Runs through the ``fig8-gemm-split`` registered sweep; its points are
+identical to fig9's, so either experiment primes the other's cache.
 """
 
-from conftest import FULL, banner
+from conftest import FULL, banner, sweep_options
 
-from repro import SystemConfig, format_table, run_vit
+from repro import format_table
+from repro.sweep import build_sweep, run_sweep
 
 MODEL = "large"
 DIM_SCALE = 1.0 if FULL else 0.25
@@ -17,14 +21,9 @@ SEGMENT = 4096 if FULL else 16384
 
 
 def _run_split() -> dict:
-    systems = SystemConfig.paper_systems()
-    return {
-        name: run_vit(
-            config.with_(dma_segment_bytes=SEGMENT), MODEL,
-            dim_scale=DIM_SCALE,
-        )
-        for name, config in systems.items()
-    }
+    spec = build_sweep("fig8-gemm-split", model=MODEL,
+                       dim_scale=DIM_SCALE, segment=SEGMENT)
+    return run_sweep(spec, **sweep_options()).results()
 
 
 def test_fig8_gemm_split(benchmark, repro_mode):

@@ -5,18 +5,21 @@ per-class performance; the non-GEMM share (of time on the PCIe system)
 is swept from 0 to 100%.  Expected shape: DevMem wins below a non-GEMM
 threshold, and the threshold falls as PCIe bandwidth rises -- the paper
 reports 34.31% (2 GB/s), 10.16% (8 GB/s) and 4.27% (64 GB/s).
+
+The calibration runs come from the ``fig9-tradeoff`` registered sweep
+(point-identical to fig8's, so the cache is shared); the analytical
+sweep itself is free post-processing.
 """
 
-from conftest import FULL, banner
+from conftest import FULL, banner, sweep_options
 
 from repro import (
-    SystemConfig,
     TradeoffModel,
     format_table,
     nongemm_time_threshold,
     relative_time_curve,
-    run_vit,
 )
+from repro.sweep import build_sweep, run_sweep
 
 MODEL = "large"
 DIM_SCALE = 1.0 if FULL else 0.25
@@ -25,17 +28,15 @@ PAPER_THRESHOLDS = {"PCIe-2GB": 34.31, "PCIe-8GB": 10.16, "PCIe-64GB": 4.27}
 
 
 def _calibrate() -> dict:
-    systems = SystemConfig.paper_systems()
-    models = {}
-    for name, config in systems.items():
-        result = run_vit(
-            config.with_(dma_segment_bytes=SEGMENT), MODEL,
-            dim_scale=DIM_SCALE,
-        )
-        models[name] = TradeoffModel.from_measured(
+    spec = build_sweep("fig9-tradeoff", model=MODEL,
+                       dim_scale=DIM_SCALE, segment=SEGMENT)
+    results = run_sweep(spec, **sweep_options()).results()
+    return {
+        name: TradeoffModel.from_measured(
             name, result.gemm_ticks, result.nongemm_ticks
         )
-    return models
+        for name, result in results.items()
+    }
 
 
 def test_fig9_tradeoff(benchmark, repro_mode):

@@ -16,11 +16,15 @@ Shapes reproduced by mechanism: the overhead percentage is U-shaped
 small problems amortize translation poorly while the 2048 footprint
 (12288 pages) overflows the 4096-entry main TLB and PTW counts explode
 (paper: 7.7k at 1024 -> 479k at 2048).
+
+Runs through the ``tab4-translation`` registered sweep; the Table IV
+metric dict is part of the cached GEMM record, so replays are free.
 """
 
-from conftest import FULL, banner
+from conftest import FULL, banner, sweep_options
 
-from repro import SystemConfig, format_table, run_gemm
+from repro import format_table
+from repro.sweep import build_sweep, run_sweep
 
 SIZES_REDUCED = (64, 128, 256, 512)
 SIZES_FULL = (64, 128, 256, 512, 1024, 2048)
@@ -37,12 +41,8 @@ PAPER = {
 
 
 def _run_sizes(sizes) -> dict:
-    results = {}
-    for size in sizes:
-        results[size] = run_gemm(
-            SystemConfig.table2_baseline(), size, size, size
-        )
-    return results
+    spec = build_sweep("tab4-translation", sizes=sizes)
+    return run_sweep(spec, **sweep_options()).results()
 
 
 def test_table4_translation(benchmark, repro_mode):

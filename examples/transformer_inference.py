@@ -2,36 +2,42 @@
 """Transformer inference across the paper's four system configurations.
 
 Runs ViT inference (reduced hidden dimension for speed; pass --full for
-paper-scale) on PCIe-2GB, PCIe-8GB, PCIe-64GB and DevMem systems, then:
+paper-scale) on PCIe-2GB, PCIe-8GB, PCIe-64GB and DevMem systems through
+the ``fig7-transformer`` registered sweep, then:
 
 * compares total inference time (Fig. 7 style),
 * splits time into GEMM and non-GEMM (Fig. 8 style),
 * calibrates the analytical trade-off model and reports the GEMM-fraction
   thresholds where DevMem starts to pay off (Fig. 9 style).
 
-Run:  python examples/transformer_inference.py [--full]
+Because the runs go through ``repro.sweep``, they parallelize across
+processes (REPRO_SWEEP_WORKERS or --workers) and replay from the on-disk
+result cache on a second invocation.
+
+Run:  python examples/transformer_inference.py [--full] [--workers N]
 """
 
-import sys
+import argparse
 
 from repro import (
-    SystemConfig,
     TradeoffModel,
     format_table,
     nongemm_time_threshold,
-    run_vit,
 )
+from repro.sweep import build_sweep, run_sweep
 
 MODEL = "base"
 
 
-def main(dim_scale: float) -> None:
-    systems = SystemConfig.paper_systems()
-    results = {}
-    print(f"Running ViT-{MODEL} (dim scale {dim_scale:g}) on 4 systems...")
-    for name, config in systems.items():
-        results[name] = run_vit(config, MODEL, dim_scale=dim_scale)
-        print(f"  {name:10s} done: {results[name].seconds * 1e3:.2f} ms")
+def main(dim_scale: float, workers) -> None:
+    spec = build_sweep("fig7-transformer", models=(MODEL,),
+                       dim_scale=dim_scale, segment=4096)
+    print(f"Running ViT-{MODEL} (dim scale {dim_scale:g}) on "
+          f"{len(spec)} systems...")
+    report = run_sweep(spec, workers=workers)
+    results = {name: result for (_model, name), result
+               in report.results().items()}
+    print(f"  {report.describe()}")
     print()
 
     baseline = results["PCIe-2GB"].total_ticks
@@ -78,4 +84,10 @@ def main(dim_scale: float) -> None:
 
 
 if __name__ == "__main__":
-    main(1.0 if "--full" in sys.argv else 0.25)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale hidden dimensions")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process count (default: $REPRO_SWEEP_WORKERS)")
+    args = parser.parse_args()
+    main(1.0 if args.full else 0.25, args.workers)

@@ -4,20 +4,26 @@ Commands:
 
 * ``gemm``     -- run one GEMM on a named system configuration,
 * ``vit``      -- run ViT inference and print the GEMM/non-GEMM split,
-* ``sweep``    -- sweep PCIe bandwidth or packet size for a GEMM,
+* ``sweep``    -- run any registered experiment sweep (all paper figures),
+* ``cache``    -- inspect or maintain the on-disk sweep result cache,
 * ``systems``  -- list the named system configurations.
 
 Examples::
 
     python -m repro gemm --system PCIe-8GB --size 256 --verify
     python -m repro vit --system DevMem --model base --dim-scale 0.25
-    python -m repro sweep --kind packet --size 128
+    python -m repro sweep --list
+    python -m repro sweep --name fig7-transformer --workers 4
+    python -m repro sweep --name tab4-translation --shard 1/4
+    python -m repro cache stats
+    python -m repro cache prune --sweep fig7-transformer
     python -m repro systems
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 import numpy as np
@@ -28,7 +34,14 @@ from repro import (
     run_gemm,
     run_vit,
 )
-from repro.sweep import build_sweep, run_sweep
+from repro.core.runner import GemmResult, ViTResult
+from repro.sweep import (
+    SWEEPS,
+    ResultCache,
+    build_sweep,
+    parse_shard,
+    run_sweep,
+)
 from repro.workloads import GemmWorkload
 
 
@@ -111,32 +124,156 @@ def cmd_vit(args) -> int:
     return 0
 
 
-def cmd_sweep(args) -> int:
-    base = _system_by_name(args.system)
-    if args.kind == "bandwidth":
-        spec = build_sweep("pcie-bandwidth", base=base, size=args.size)
+# ----------------------------------------------------------------------
+# sweep
+# ----------------------------------------------------------------------
+def _list_sweeps() -> int:
+    rows = []
+    for name in sorted(SWEEPS):
+        factory = SWEEPS[name]
+        doc = (inspect.getdoc(factory) or "").splitlines()
+        summary = doc[0] if doc else ""
+        spec = factory()
+        rows.append((name, spec.runner if isinstance(spec.runner, str)
+                     else "custom", len(spec), summary))
+    print(format_table(
+        ["experiment", "runner", "points", "description"], rows,
+        title="registered sweeps (python -m repro sweep --name <experiment>)",
+    ))
+    return 0
+
+
+def _factory_kwargs(name: str, args) -> dict:
+    """CLI overrides the named factory actually accepts.
+
+    Each offered entry is (factory parameter, CLI flag, value); flags the
+    factory does not take are reported on stderr rather than silently
+    dropped.
+    """
+    offered = []
+    if args.system is not None:
+        offered.append(("base", "--system", _system_by_name(args.system)))
+    if args.size is not None:
+        offered.append(("size", "--size", args.size))
+    if args.model is not None:
+        offered.append(("model", "--model", args.model))
+    if args.dim_scale is not None:
+        offered.append(("dim_scale", "--dim-scale", args.dim_scale))
+    accepted = inspect.signature(SWEEPS[name]).parameters
+    kwargs = {param: value for param, _flag, value in offered
+              if param in accepted}
+    dropped = sorted(flag for param, flag, _value in offered
+                     if param not in accepted)
+    if dropped:
+        print(f"note: sweep {name!r} ignores {', '.join(dropped)}",
+              file=sys.stderr)
+    return kwargs
+
+
+def _result_rows(report):
+    """Generic per-point table for any runner's result type."""
+    results = report.results()
+    sample = next(iter(results.values()), None)
+    if isinstance(sample, GemmResult):
+        header = ["point", "exec us", "traffic MB"]
+        rows = [
+            (key, f"{r.seconds * 1e6:.1f}", f"{r.traffic_bytes / 1e6:.2f}")
+            for key, r in results.items()
+        ]
+    elif isinstance(sample, ViTResult):
+        header = ["point", "total ms", "GEMM ms", "non-GEMM ms", "non-GEMM %"]
+        rows = [
+            (
+                key,
+                f"{r.seconds * 1e3:.2f}",
+                f"{r.gemm_ticks / 1e9:.2f}",
+                f"{r.nongemm_ticks / 1e9:.2f}",
+                f"{100 * r.nongemm_fraction:.1f}%",
+            )
+            for key, r in results.items()
+        ]
     else:
-        spec = build_sweep("packet-size", base=base, size=args.size)
+        header = ["point", "record"]
+        rows = [(key, repr(r)) for key, r in results.items()]
+    return header, rows
+
+
+def cmd_sweep(args) -> int:
+    if args.list:
+        return _list_sweeps()
+
+    try:
+        shard = parse_shard(args.shard) if args.shard else None
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.name:
+        if args.name not in SWEEPS:
+            raise SystemExit(
+                f"unknown sweep {args.name!r}; see python -m repro sweep --list"
+            )
+        if args.kind is not None:
+            print(f"note: sweep {args.name!r} ignores --kind",
+                  file=sys.stderr)
+        spec = build_sweep(args.name, **_factory_kwargs(args.name, args))
+    else:
+        # Back-compat shorthand for the two classic GEMM sweeps.
+        base = _system_by_name(args.system or "Table2")
+        size = args.size if args.size is not None else 128
+        if (args.kind or "bandwidth") == "bandwidth":
+            spec = build_sweep("pcie-bandwidth", base=base, size=size)
+        else:
+            spec = build_sweep("packet-size", base=base, size=size)
     report = run_sweep(
         spec,
         workers=args.workers,
         cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        shard=shard,
     )
     results = report.results()
-    if args.kind == "bandwidth":
+    if not args.name and args.kind == "bandwidth":
         rows = [
             (f"x{lanes}", f"{gbps:g}", f"{result.seconds * 1e6:.1f}")
             for (lanes, gbps), result in results.items()
         ]
         print(format_table(["lanes", "Gb/s/lane", "exec us"], rows))
-    else:
+    elif not args.name:
         rows = [
             (packet, f"{result.seconds * 1e6:.1f}")
             for packet, result in results.items()
         ]
         print(format_table(["packet B", "exec us"], rows))
+    else:
+        header, rows = _result_rows(report)
+        print(format_table(header, rows, title=spec.name))
     print(report.describe())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+def cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        summary = cache.summarize()
+        print(f"cache dir:  {summary['root']}")
+        print(f"entries:    {summary['entries']}")
+        print(f"size:       {summary['bytes'] / 1e6:.2f} MB")
+        if summary["sweeps"]:
+            rows = sorted(summary["sweeps"].items())
+            print()
+            print(format_table(["sweep", "entries"], rows))
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}")
+        return 0
+    # prune
+    if not args.sweep:
+        raise SystemExit("cache prune requires --sweep <name>")
+    removed = cache.prune(args.sweep)
+    print(f"removed {removed} entries tagged {args.sweep!r} from {cache.root}")
     return 0
 
 
@@ -168,11 +305,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_vit.add_argument("--dim-scale", type=float, default=0.25)
     p_vit.set_defaults(func=cmd_vit)
 
-    p_sweep = sub.add_parser("sweep", help="bandwidth or packet sweeps")
+    p_sweep = sub.add_parser(
+        "sweep", help="run a registered experiment sweep"
+    )
+    p_sweep.add_argument("--list", action="store_true",
+                         help="list registered experiments and exit")
+    p_sweep.add_argument("--name", default=None,
+                         help="registered experiment to run "
+                              "(see --list; covers every paper figure)")
     p_sweep.add_argument("--kind", choices=["bandwidth", "packet"],
-                         default="bandwidth")
-    p_sweep.add_argument("--system", default="Table2")
-    p_sweep.add_argument("--size", type=int, default=128)
+                         default=None,
+                         help="classic GEMM sweeps (when --name is unset; "
+                              "default: bandwidth)")
+    p_sweep.add_argument("--system", default=None,
+                         help="base system (if the sweep takes one; "
+                              "--kind sweeps default to Table2)")
+    p_sweep.add_argument("--size", type=int, default=None,
+                         help="GEMM size override (if the sweep takes one)")
+    p_sweep.add_argument("--model", default=None,
+                         help="ViT model override (if the sweep takes one)")
+    p_sweep.add_argument("--dim-scale", type=float, default=None,
+                         help="ViT dim-scale override "
+                              "(if the sweep takes one)")
+    p_sweep.add_argument("--shard", default=None, metavar="I/N",
+                         help="simulate only shard I of N "
+                              "(deterministic slice; share --cache-dir "
+                              "across shards to compose the full grid)")
     p_sweep.add_argument("--workers", type=int, default=None,
                          help="process count for uncached points "
                               "(default: $REPRO_SWEEP_WORKERS or serial)")
@@ -184,6 +342,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="always re-simulate; do not read or "
                               "write the result cache")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or maintain the sweep result cache"
+    )
+    p_cache.add_argument("action", choices=["stats", "clear", "prune"])
+    p_cache.add_argument("--sweep", default=None,
+                         help="sweep name for prune")
+    p_cache.add_argument("--cache-dir", default=None,
+                         help="cache location (default: "
+                              "$REPRO_SWEEP_CACHE_DIR or "
+                              "~/.cache/repro/sweeps)")
+    p_cache.set_defaults(func=cmd_cache)
     return parser
 
 

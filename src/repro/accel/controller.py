@@ -113,6 +113,10 @@ class AcceleratorController(SimObject):
             "stall_ticks", "array idle time waiting for operands"
         )
 
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._busy = False
+
     # ------------------------------------------------------------------
     # Job launch
     # ------------------------------------------------------------------

@@ -53,6 +53,10 @@ class BumpAllocator:
         self.range = range_
         self._cursor = range_.start
 
+    def reset(self) -> None:
+        """Release everything (the arena survives; addresses are reused)."""
+        self._cursor = self.range.start
+
     def alloc(self, size: int, align: int = PAGE_SIZE) -> int:
         """Allocate ``size`` bytes aligned to ``align``."""
         if size <= 0:
@@ -99,8 +103,17 @@ class AccelDriver(SimObject):
         self.slot: Optional[int] = None
         self._iova_cursor = self.IOVA_BASE + device_index * self.IOVA_WINDOW
         self._buffers: Dict[str, dict] = {}
+        self._completion_cb = None
         self._mmio_writes = self.stats.scalar("mmio_writes", "register writes issued")
         self._launches = self.stats.scalar("launches", "jobs launched")
+
+    def reset_state(self) -> None:
+        # The probe binding (slot, MSI wiring) is topology and survives;
+        # buffer pins and IOVA assignments are per-run state.
+        super().reset_state()
+        self._iova_cursor = self.IOVA_BASE + self.device_index * self.IOVA_WINDOW
+        self._buffers.clear()
+        self._completion_cb = None
 
     # ------------------------------------------------------------------
     # Probe

@@ -86,6 +86,11 @@ class LocalBuffer(TargetPort):
         self._allocations.clear()
         self._in_use = 0
 
+    def reset_state(self) -> None:
+        super().reset_state()
+        self.reset()
+        self._port_free_at = 0
+
     def holds(self, tag: str) -> bool:
         return tag in self._allocations
 

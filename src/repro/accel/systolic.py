@@ -94,6 +94,10 @@ class SystolicArray(ClockedObject):
         )
         self._macs_done = self.stats.scalar("macs", "multiply-accumulates")
 
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._free_at = 0
+
     # ------------------------------------------------------------------
     # Timing
     # ------------------------------------------------------------------

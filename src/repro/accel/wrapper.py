@@ -62,6 +62,10 @@ class RegisterFile(TargetPort):
     def set_doorbell_handler(self, handler: Callable[[], None]) -> None:
         self._on_doorbell = handler
 
+    def reset_state(self) -> None:
+        super().reset_state()
+        self.backing[:] = 0
+
     # Functional helpers (zero-time; used by the wrapper itself) ---------
     def read_u32(self, offset: int) -> int:
         return struct.unpack_from("<I", self.backing, offset)[0]
@@ -152,6 +156,12 @@ class AcceleratorWrapper(SimObject):
         self._msi_handler: Optional[Callable[[GemmJob, Dict], None]] = None
         self._functional_operands: Optional[tuple] = None
         self.last_job_stats: Optional[Dict[str, float]] = None
+
+    def reset_state(self) -> None:
+        # The MSI handler is wired once by driver probe and kept.
+        super().reset_state()
+        self._functional_operands = None
+        self.last_job_stats = None
 
     # ------------------------------------------------------------------
     # Driver-facing hooks

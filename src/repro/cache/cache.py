@@ -81,6 +81,12 @@ class Cache(TargetPort):
         self._writebacks = self.stats.scalar("writebacks", "dirty lines written back")
         self._invalidations = self.stats.scalar("invalidations", "lines invalidated")
 
+    def reset_state(self) -> None:
+        super().reset_state()
+        self.tags.reset()
+        self._mshrs_free = self.params.mshrs
+        self._mshr_queue.clear()
+
     # ------------------------------------------------------------------
     # TargetPort interface
     # ------------------------------------------------------------------

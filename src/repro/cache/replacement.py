@@ -29,6 +29,9 @@ class ReplacementPolicy:
         """Choose a way to evict among ``occupied`` ways."""
         raise NotImplementedError
 
+    def reset(self) -> None:
+        """Forget all recency/ordering state (back to construction)."""
+
 
 class LRUPolicy(ReplacementPolicy):
     """Least-recently-used: evict the way touched longest ago."""
@@ -47,6 +50,12 @@ class LRUPolicy(ReplacementPolicy):
     def victim(self, set_index: int, occupied: List[int]) -> int:
         stamps = self._last_use[set_index]
         return min(occupied, key=stamps.__getitem__)
+
+    def reset(self) -> None:
+        self._stamp = 0
+        for row in self._last_use:
+            for way in range(self.assoc):
+                row[way] = 0
 
 
 class FIFOPolicy(ReplacementPolicy):
@@ -67,16 +76,26 @@ class FIFOPolicy(ReplacementPolicy):
         stamps = self._fill_time[set_index]
         return min(occupied, key=stamps.__getitem__)
 
+    def reset(self) -> None:
+        self._stamp = 0
+        for row in self._fill_time:
+            for way in range(self.assoc):
+                row[way] = 0
+
 
 class RandomPolicy(ReplacementPolicy):
     """Uniform random victim selection (seeded for reproducibility)."""
 
     def __init__(self, num_sets: int, assoc: int, seed: int = 1) -> None:
         super().__init__(num_sets, assoc)
+        self._seed = seed
         self._rng = random.Random(seed)
 
     def victim(self, set_index: int, occupied: List[int]) -> int:
         return self._rng.choice(occupied)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
 
 
 _POLICIES = {

@@ -142,6 +142,16 @@ class TagStore:
         self._occupancy[loc[0]] -= 1
         return dirty
 
+    def reset(self) -> None:
+        """Empty every set and rewind the replacement policy."""
+        for ways in self._sets:
+            for way in ways:
+                way.line = None
+                way.dirty = False
+        self._where.clear()
+        self._occupancy = [0] * self.num_sets
+        self.policy.reset()
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

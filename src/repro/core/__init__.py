@@ -19,7 +19,16 @@ system and runs the evaluation:
 from repro.core.access_modes import AccessMode
 from repro.core.config import SystemConfig
 from repro.core.system import AcceSysSystem
-from repro.core.runner import GemmResult, ViTResult, run_gemm, run_vit
+from repro.core.runner import (
+    GemmResult,
+    GemmRunner,
+    ViTResult,
+    ViTRunner,
+    WorkloadRunner,
+    run_gemm,
+    run_vit,
+    system_for,
+)
 from repro.core.roofline import RooflinePoint, roofline_sweep, find_crossover
 from repro.core.analytical import (
     TradeoffModel,

@@ -1,22 +1,36 @@
-"""Experiment drivers: single GEMM runs and full ViT inference.
+"""Experiment drivers: the WorkloadRunner protocol, GEMM and ViT runs.
 
-``run_gemm`` builds a system, pins operand buffers, launches through the
-kernel driver (real MMIO traffic) and reports end-to-end timing plus the
-per-subsystem statistics the benchmarks print.
+Every workload follows the same three-step shape, captured by
+:class:`WorkloadRunner`: *acquire* a system for a configuration, *drive*
+the workload through it (real MMIO launches, DMA traffic, CPU kernels),
+and *snapshot* the statistics the harnesses report.  ``run_gemm`` and
+``run_vit`` are thin wrappers over the two concrete runners, kept as
+module-level functions for the public API.
+
+System acquisition goes through :func:`system_for`, a per-process
+memoized factory keyed on ``SystemConfig.stable_hash()``: re-running a
+configuration reuses the already-wired :class:`AcceSysSystem` after an
+explicit :meth:`~repro.core.system.AcceSysSystem.reset`, which restores
+bit-identical pristine state.  This removes the system-construction cost
+that dominates small-GEMM sweep grids (tag stores alone are tens of
+thousands of objects).  Set ``REPRO_SYSTEM_MEMO=0`` to always build
+fresh systems.
 
 ``run_vit`` walks a ViT op graph op by op: GEMMs dispatch to the
 accelerator, non-GEMM operators to the CPU, with tensors placed in host
 or device memory according to the configuration -- reproducing the
 Section V-C/V-D experiments.  Repeated shapes are *memoized*: the first
-instance of each (shape, packet) pair is simulated in full and later
-instances replay its measured latency.  Transformer layers are identical,
-so this cuts simulation cost by the layer count without changing totals
-(micro-architectural state differences across layers are second-order;
-DESIGN.md discusses the approximation).
+instance of each (shape, packet, DMA-segment) tuple is simulated in full
+and later instances replay its measured latency.  Transformer layers are
+identical, so this cuts simulation cost by the layer count without
+changing totals (micro-architectural state differences across layers are
+second-order; DESIGN.md discusses the approximation).
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -82,8 +96,137 @@ class ViTResult:
 
 
 # ----------------------------------------------------------------------
-# GEMM
+# Memoized system factory
 # ----------------------------------------------------------------------
+#: Environment kill switch: ``REPRO_SYSTEM_MEMO=0`` builds fresh systems.
+SYSTEM_MEMO_ENV = "REPRO_SYSTEM_MEMO"
+#: Retained systems per process (LRU).  Grids usually cycle through a
+#: handful of configurations; unbounded retention would pin every tag
+#: store of a many-config sweep in memory.
+SYSTEM_MEMO_CAPACITY = 8
+
+_system_memo: "OrderedDict[str, AcceSysSystem]" = OrderedDict()
+
+
+def system_memo_enabled() -> bool:
+    return os.environ.get(SYSTEM_MEMO_ENV, "1") != "0"
+
+
+def clear_system_memo() -> None:
+    """Drop every retained system (tests; frees their event state)."""
+    _system_memo.clear()
+
+
+def system_for(config: SystemConfig) -> AcceSysSystem:
+    """A pristine system for ``config``: memoized per process.
+
+    A cache hit returns the previously built system after an explicit
+    :meth:`~repro.core.system.AcceSysSystem.reset`, which restores
+    construction-time state exactly -- results are bit-identical to a
+    fresh build (asserted by ``tests/test_system_reset.py``).  Keyed on
+    the canonical config hash, so any field change builds a new system.
+    """
+    if not system_memo_enabled():
+        return AcceSysSystem(config)
+    key = config.stable_hash()
+    system = _system_memo.get(key)
+    if system is not None:
+        _system_memo.move_to_end(key)
+        system.reset()
+        return system
+    system = AcceSysSystem(config)
+    _system_memo[key] = system
+    while len(_system_memo) > SYSTEM_MEMO_CAPACITY:
+        _system_memo.popitem(last=False)
+    return system
+
+
+# ----------------------------------------------------------------------
+# The runner protocol
+# ----------------------------------------------------------------------
+class WorkloadRunner:
+    """The common shape of every experiment driver.
+
+    ``run`` acquires a (memoized) system for the configuration and hands
+    it to ``drive``, which launches the workload, drains the event queue
+    and builds the result -- typically ending with a ``snapshot`` of the
+    per-component statistics.  Sweep runners registered with
+    :func:`repro.sweep.spec.register_runner` wrap concrete subclasses.
+    """
+
+    def acquire_system(self, config: SystemConfig) -> AcceSysSystem:
+        return system_for(config)
+
+    def drive(self, system: AcceSysSystem, **params):
+        """Execute one workload on ``system`` and return its result."""
+        raise NotImplementedError
+
+    def snapshot(self, system: AcceSysSystem) -> Dict[str, float]:
+        return _snapshot(system)
+
+    def run(self, config: SystemConfig, **params):
+        return self.drive(self.acquire_system(config), **params)
+
+
+class GemmRunner(WorkloadRunner):
+    """One C = A x B launch through the kernel driver."""
+
+    def drive(
+        self,
+        system: AcceSysSystem,
+        m: int,
+        k: int,
+        n: int,
+        packet_size: Optional[int] = None,
+        functional: bool = False,
+        seed: int = 1234,
+    ) -> GemmResult:
+        config = system.config
+        workload = GemmWorkload(m, k, n, seed=seed)
+
+        a_addr = system.alloc_buffer("A", workload.a_bytes)
+        b_addr = system.alloc_buffer("B", workload.b_bytes)
+        c_addr = system.alloc_buffer("C", workload.c_bytes)
+
+        a_data = b_data = None
+        if functional:
+            a_data, b_data = workload.generate()
+            _write_operands(system, a_addr, b_addr, a_data, b_data)
+
+        done: Dict[str, object] = {}
+
+        def complete(job, stats) -> None:
+            done["job"] = job
+            done["stats"] = stats
+            done["at"] = system.now
+
+        system.driver.launch_gemm(
+            m, k, n, a_addr, b_addr, c_addr, complete,
+            packet_size=packet_size or config.packet_size,
+            a_data=a_data, b_data=b_data,
+        )
+        system.run()
+        if "stats" not in done:
+            raise RuntimeError("GEMM job never completed (deadlock in wiring?)")
+
+        job_stats = done["stats"]
+        table4 = None
+        if system.smmu is not None and not config.uses_device_memory:
+            table4 = system.smmu.table4_metrics(done["at"])
+        return GemmResult(
+            config_name=config.name,
+            m=m, k=k, n=n,
+            ticks=done["at"],
+            job_ticks=int(job_stats["ticks"]),
+            traffic_bytes=int(
+                job_stats["bytes_read"] + job_stats["bytes_written"]
+            ),
+            c_matrix=done["job"].c_result,
+            table4=table4,
+            component_stats=self.snapshot(system),
+        )
+
+
 def run_gemm(
     config: SystemConfig,
     m: int,
@@ -93,50 +236,12 @@ def run_gemm(
     functional: bool = False,
     seed: int = 1234,
 ) -> GemmResult:
-    """Build a system, run one C = A x B job, and report."""
+    """Build (or reuse) a system, run one C = A x B job, and report."""
     if functional and not config.functional:
         config = config.with_(functional=True)
-    system = AcceSysSystem(config)
-    workload = GemmWorkload(m, k, n, seed=seed)
-
-    a_addr = system.alloc_buffer("A", workload.a_bytes)
-    b_addr = system.alloc_buffer("B", workload.b_bytes)
-    c_addr = system.alloc_buffer("C", workload.c_bytes)
-
-    a_data = b_data = None
-    if functional:
-        a_data, b_data = workload.generate()
-        _write_operands(system, a_addr, b_addr, a_data, b_data)
-
-    done: Dict[str, object] = {}
-
-    def complete(job, stats) -> None:
-        done["job"] = job
-        done["stats"] = stats
-        done["at"] = system.now
-
-    system.driver.launch_gemm(
-        m, k, n, a_addr, b_addr, c_addr, complete,
-        packet_size=packet_size or config.packet_size,
-        a_data=a_data, b_data=b_data,
-    )
-    system.run()
-    if "stats" not in done:
-        raise RuntimeError("GEMM job never completed (deadlock in wiring?)")
-
-    job_stats = done["stats"]
-    table4 = None
-    if system.smmu is not None and not config.uses_device_memory:
-        table4 = system.smmu.table4_metrics(done["at"])
-    return GemmResult(
-        config_name=config.name,
-        m=m, k=k, n=n,
-        ticks=done["at"],
-        job_ticks=int(job_stats["ticks"]),
-        traffic_bytes=int(job_stats["bytes_read"] + job_stats["bytes_written"]),
-        c_matrix=done["job"].c_result,
-        table4=table4,
-        component_stats=_snapshot(system),
+    return GemmRunner().run(
+        config, m=m, k=k, n=n, packet_size=packet_size,
+        functional=functional, seed=seed,
     )
 
 
@@ -181,6 +286,139 @@ def _snapshot(system: AcceSysSystem) -> Dict[str, float]:
 # ----------------------------------------------------------------------
 # ViT
 # ----------------------------------------------------------------------
+class ViTRunner(WorkloadRunner):
+    """Full ViT inference: GEMMs on the accelerator, the rest on the CPU."""
+
+    def drive(
+        self,
+        system: AcceSysSystem,
+        model: str | ViTConfig = "base",
+        memoize: bool = True,
+        dim_scale: float = 1.0,
+    ) -> ViTResult:
+        config = system.config
+        vit_config = _resolve_model(model, dim_scale)
+        graph = build_vit_graph(vit_config)
+        placement = _place_tensors(system, graph)
+
+        gemm_memo: Dict[Tuple, int] = {}
+        nongemm_memo: Dict[Tuple, int] = {}
+        result = ViTResult(
+            config_name=config.name,
+            model_name=vit_config.name,
+            total_ticks=0, gemm_ticks=0, nongemm_ticks=0,
+        )
+        state = {"index": 0, "op_start": 0}
+        ops = graph.ops
+
+        def next_op() -> None:
+            if state["index"] >= len(ops):
+                return
+            op = ops[state["index"]]
+            state["index"] += 1
+            state["op_start"] = system.now
+            if isinstance(op, GemmOp):
+                run_gemm_op(op)
+            else:
+                run_nongemm_op(op)
+
+        def account(op, elapsed: int) -> None:
+            # Ops may share a name (e.g. graphs built outside
+            # build_vit_graph); accumulate rather than overwrite so totals
+            # stay consistent.
+            result.op_ticks[op.name] = (
+                result.op_ticks.get(op.name, 0) + elapsed
+            )
+            if isinstance(op, GemmOp):
+                result.gemm_ticks += elapsed
+            else:
+                result.nongemm_ticks += elapsed
+
+        def run_gemm_op(op: GemmOp) -> None:
+            # The replayed latency depends on every knob that shapes a
+            # launch: the shape, the on-wire packet size, and the DMA
+            # read-request granularity (Fig. 7 overrides the segment size
+            # per point, so it must key the memo).
+            key = (
+                "gemm", op.m, op.k, op.n,
+                config.packet_size, config.dma_segment_bytes,
+            )
+            if memoize and key in gemm_memo:
+                result.memo_hits += 1
+                elapsed = gemm_memo[key] * op.batch
+                account(op, elapsed)
+                system.sim.schedule(elapsed, next_op)
+                return
+
+            a_ref = op.inputs[0]
+            b_ref = op.inputs[1] if len(op.inputs) > 1 else op.inputs[0]
+            c_ref = op.outputs[0]
+
+            def complete(_job, _stats) -> None:
+                elapsed = system.now - state["op_start"]
+                gemm_memo[key] = elapsed
+                remaining = (op.batch - 1) * elapsed
+                account(op, elapsed * op.batch)
+                system.sim.schedule(remaining, next_op)
+
+            system.driver.launch_gemm(
+                op.m, op.k, op.n,
+                placement[a_ref]["dev"],
+                placement[b_ref]["dev"],
+                placement[c_ref]["dev"],
+                complete,
+                packet_size=config.packet_size,
+            )
+
+        def run_nongemm_op(op: NonGemmOp) -> None:
+            # Shape key only: same operator over same element count
+            # behaves identically regardless of which layer's tensors it
+            # touches.
+            key = (
+                "nongemm", op.op_type, op.elements,
+                len(op.inputs), len(op.outputs),
+            )
+            if memoize and key in nongemm_memo:
+                result.memo_hits += 1
+                elapsed = nongemm_memo[key]
+                account(op, elapsed)
+                system.sim.schedule(elapsed, next_op)
+                return
+            kernel = kernel_for_op(
+                op.op_type,
+                op.elements,
+                [
+                    (placement[ref]["cpu"], graph.tensors[ref])
+                    for ref in op.inputs
+                ],
+                [
+                    (placement[ref]["cpu"], graph.tensors[ref])
+                    for ref in op.outputs
+                ],
+            )
+
+            def complete(elapsed: int) -> None:
+                nongemm_memo[key] = elapsed
+                account(op, elapsed)
+                system.sim.schedule(0, next_op)
+
+            system.cpu.run_kernel(
+                kernel.streams, kernel.compute_cycles, complete
+            )
+
+        next_op()
+        system.run()
+        if state["index"] < len(ops):
+            raise RuntimeError(
+                f"ViT run stalled at op {state['index']}/{len(ops)}"
+            )
+        result.total_ticks = system.now
+        assert sum(result.op_ticks.values()) == (
+            result.gemm_ticks + result.nongemm_ticks
+        ), "per-op tick accounting drifted from the GEMM/non-GEMM totals"
+        return result
+
+
 def run_vit(
     config: SystemConfig,
     model: str | ViTConfig = "base",
@@ -192,114 +430,9 @@ def run_vit(
     ``dim_scale`` scales hidden dimensions (benchmark harnesses use 0.5
     by default to keep run times reasonable; REPRO_FULL=1 restores 1.0).
     """
-    vit_config = _resolve_model(model, dim_scale)
-    graph = build_vit_graph(vit_config)
-    system = AcceSysSystem(config)
-    placement = _place_tensors(system, graph)
-
-    gemm_memo: Dict[Tuple, int] = {}
-    nongemm_memo: Dict[Tuple, int] = {}
-    result = ViTResult(
-        config_name=config.name,
-        model_name=vit_config.name,
-        total_ticks=0, gemm_ticks=0, nongemm_ticks=0,
+    return ViTRunner().run(
+        config, model=model, memoize=memoize, dim_scale=dim_scale
     )
-    state = {"index": 0, "op_start": 0}
-    ops = graph.ops
-
-    def next_op() -> None:
-        if state["index"] >= len(ops):
-            return
-        op = ops[state["index"]]
-        state["index"] += 1
-        state["op_start"] = system.now
-        if isinstance(op, GemmOp):
-            run_gemm_op(op)
-        else:
-            run_nongemm_op(op)
-
-    def account(op, elapsed: int) -> None:
-        # Ops may share a name (e.g. graphs built outside build_vit_graph);
-        # accumulate rather than overwrite so totals stay consistent.
-        result.op_ticks[op.name] = result.op_ticks.get(op.name, 0) + elapsed
-        if isinstance(op, GemmOp):
-            result.gemm_ticks += elapsed
-        else:
-            result.nongemm_ticks += elapsed
-
-    def run_gemm_op(op: GemmOp) -> None:
-        key = ("gemm", op.m, op.k, op.n, config.packet_size)
-        if memoize and key in gemm_memo:
-            result.memo_hits += 1
-            elapsed = gemm_memo[key] * op.batch
-            account(op, elapsed)
-            system.sim.schedule(elapsed, next_op)
-            return
-
-        a_ref = op.inputs[0]
-        b_ref = op.inputs[1] if len(op.inputs) > 1 else op.inputs[0]
-        c_ref = op.outputs[0]
-
-        def complete(_job, _stats) -> None:
-            elapsed = system.now - state["op_start"]
-            gemm_memo[key] = elapsed
-            remaining = (op.batch - 1) * elapsed
-            account(op, elapsed * op.batch)
-            system.sim.schedule(remaining, next_op)
-
-        system.driver.launch_gemm(
-            op.m, op.k, op.n,
-            placement[a_ref]["dev"],
-            placement[b_ref]["dev"],
-            placement[c_ref]["dev"],
-            complete,
-            packet_size=config.packet_size,
-        )
-
-    def run_nongemm_op(op: NonGemmOp) -> None:
-        # Shape key only: same operator over same element count behaves
-        # identically regardless of which layer's tensors it touches.
-        key = (
-            "nongemm", op.op_type, op.elements,
-            len(op.inputs), len(op.outputs),
-        )
-        if memoize and key in nongemm_memo:
-            result.memo_hits += 1
-            elapsed = nongemm_memo[key]
-            account(op, elapsed)
-            system.sim.schedule(elapsed, next_op)
-            return
-        kernel = kernel_for_op(
-            op.op_type,
-            op.elements,
-            [
-                (placement[ref]["cpu"], graph.tensors[ref])
-                for ref in op.inputs
-            ],
-            [
-                (placement[ref]["cpu"], graph.tensors[ref])
-                for ref in op.outputs
-            ],
-        )
-
-        def complete(elapsed: int) -> None:
-            nongemm_memo[key] = elapsed
-            account(op, elapsed)
-            system.sim.schedule(0, next_op)
-
-        system.cpu.run_kernel(kernel.streams, kernel.compute_cycles, complete)
-
-    next_op()
-    system.run()
-    if state["index"] < len(ops):
-        raise RuntimeError(
-            f"ViT run stalled at op {state['index']}/{len(ops)}"
-        )
-    result.total_ticks = system.now
-    assert sum(result.op_ticks.values()) == (
-        result.gemm_ticks + result.nongemm_ticks
-    ), "per-op tick accounting drifted from the GEMM/non-GEMM totals"
-    return result
 
 
 def _resolve_model(model: str | ViTConfig, dim_scale: float) -> ViTConfig:

@@ -100,6 +100,11 @@ class _CpuDataPort(TargetPort):
         self._remote_lines: deque = deque()
         self._remote_inflight = 0
 
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._remote_lines.clear()
+        self._remote_inflight = 0
+
     def send(self, txn: Transaction, on_complete: CompletionFn) -> None:
         if (
             self.devmem_range is not None
@@ -339,6 +344,31 @@ class AcceSysSystem:
         if self.config.uses_device_memory:
             return self.devmem_alloc.alloc(size)
         return self.driver.pin_buffer(tag, size)
+
+    def reset(self) -> None:
+        """Restore the fully wired system to its just-constructed state.
+
+        Rewinds simulated time to tick 0, empties the event queue, and
+        walks every registered component's ``reset_state`` so tag stores,
+        TLBs, bank state, busy-until timestamps and statistics all return
+        to their construction values.  System-level allocators, the SMMU
+        page table, and any functional backing stores are reset here
+        because they are not SimObjects.  A reset system produces
+        bit-identical results to a freshly constructed one -- this is what
+        lets the sweep engine memoize system construction across points
+        (see :func:`repro.core.runner.system_for`).
+        """
+        self.sim.reset()
+        for obj in self.sim.objects:
+            obj.reset_state()
+        self.host_alloc.reset()
+        self.devmem_alloc.reset()
+        if self.page_table is not None:
+            self.page_table.reset()
+        if self.host_backing is not None:
+            self.host_backing.clear()
+        if self.devmem_backing is not None:
+            self.devmem_backing.clear()
 
     def run(self, **kw) -> int:
         """Drain the event queue; returns the final tick."""

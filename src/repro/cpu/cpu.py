@@ -61,6 +61,10 @@ class TimingCPU(ClockedObject):
             "mem_stall_ticks", "time memory exceeded compute"
         )
 
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._busy = False
+
     # ------------------------------------------------------------------
     # Kernel execution
     # ------------------------------------------------------------------

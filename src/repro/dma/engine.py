@@ -72,6 +72,13 @@ class DMAEngine(SimObject):
         self._bytes_written = self.stats.scalar("bytes_written", "device-to-host bytes")
         self._latency = self.stats.histogram("segment_ticks", "per-segment latency")
 
+    def reset_state(self) -> None:
+        super().reset_state()
+        for channel in self._channels:
+            channel.queue.clear()
+        self._rr_next = 0
+        self._tags_in_use = 0
+
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------

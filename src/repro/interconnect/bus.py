@@ -60,6 +60,10 @@ class MemBus(ClockedObject, TargetPort):
         )
         self._unrouted = self.stats.scalar("unrouted", "transactions with no target")
 
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._wire_free_at = 0
+
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------

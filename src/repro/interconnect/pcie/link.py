@@ -145,6 +145,11 @@ class PCIeChannel(SimObject):
         )
         self._busy_ticks = self.stats.scalar("busy_ticks", "wire occupancy")
 
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._wire_free_at = 0
+        self._last_arrival = 0
+
     # ------------------------------------------------------------------
     # Timing
     # ------------------------------------------------------------------

@@ -111,6 +111,13 @@ class DRAMController(TargetPort):
         self._row_misses = self.stats.scalar("row_misses", "row-buffer misses")
         self._refreshes = self.stats.scalar("refresh_stalls", "bursts delayed by refresh")
 
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._channels = [
+            _Channel(self._num_banks, self._t_refi)
+            for _ in range(self.timings.channels)
+        ]
+
     # ------------------------------------------------------------------
     # TargetPort interface
     # ------------------------------------------------------------------

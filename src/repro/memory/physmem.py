@@ -95,6 +95,10 @@ class PhysicalMemory:
         """Write a typed array starting at ``addr``."""
         self.write(addr, np.ascontiguousarray(array))
 
+    def clear(self) -> None:
+        """Drop every frame; all bytes read as zero again (fresh store)."""
+        self._frames.clear()
+
     @property
     def allocated_bytes(self) -> int:
         """Host bytes actually allocated so far."""

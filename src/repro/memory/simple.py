@@ -56,6 +56,10 @@ class SimpleMemory(TargetPort):
         self._bytes_written = self.stats.scalar("bytes_written", "bytes written")
         self._busy_ticks = self.stats.scalar("busy_ticks", "port occupancy")
 
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._port_free_at = 0
+
     def send(self, txn: Transaction, on_complete: CompletionFn) -> None:
         if not self.range.contains(txn.addr):
             raise ValueError(

@@ -90,6 +90,11 @@ class Simulator:
         sim = Simulator()
         sim.schedule(ns(10), lambda: print("hello at 10ns"))
         sim.run()
+
+    The simulator also keeps a registry of every :class:`SimObject` bound
+    to it (in construction order), which is what lets a fully wired system
+    be reset to its pristine state and reused for another run instead of
+    being rebuilt from scratch.
     """
 
     def __init__(self) -> None:
@@ -97,6 +102,26 @@ class Simulator:
         self.now: int = 0
         self._running = False
         self.events_executed: int = 0
+        #: Every SimObject constructed against this simulator, in order.
+        self.objects: list = []
+
+    def register(self, obj) -> None:
+        """Record a SimObject for system-wide reset walks."""
+        self.objects.append(obj)
+
+    def reset(self) -> None:
+        """Rewind to tick 0 with an empty queue.
+
+        Replacing the queue (rather than draining it) also resets the
+        event sequence counter, so a reset simulator schedules events in
+        exactly the order a freshly built one would -- a precondition for
+        reused systems producing bit-identical results.
+        """
+        if self._running:
+            raise RuntimeError("cannot reset a running simulator")
+        self.queue = EventQueue()
+        self.now = 0
+        self.events_executed = 0
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -84,6 +84,10 @@ class QueueStation(TargetPort):
             raise NotImplementedError("provide service_fn or override service_time")
         return self._service_fn(txn)
 
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._server_free_at = 0
+
     def send(self, txn: Transaction, on_complete: CompletionFn) -> None:
         self._queued.inc()
         start = max(self.now, self._server_free_at)
@@ -129,6 +133,10 @@ class PipelinedLink(TargetPort):
         self._count = self.stats.scalar("transactions", "transactions carried")
         self._bytes = self.stats.scalar("bytes", "payload bytes carried")
         self._busy_ticks = self.stats.scalar("busy_ticks", "wire occupancy")
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._wire_free_at = 0
 
     def send(self, txn: Transaction, on_complete: CompletionFn) -> None:
         self._count.inc()

@@ -23,6 +23,18 @@ class SimObject:
         self.sim = sim
         self.name = name
         self.stats = StatGroup(name)
+        sim.register(self)
+
+    def reset_state(self) -> None:
+        """Restore construction-time state so the object can be reused.
+
+        The base implementation clears statistics; components with
+        additional mutable state (tag stores, queues, busy-until
+        timestamps, ...) override this and call ``super().reset_state()``.
+        Topology -- wiring established at construction or by one-time
+        setup such as driver probe -- is deliberately preserved.
+        """
+        self.stats.reset()
 
     # Scheduling shorthand -------------------------------------------------
     def schedule(

@@ -49,7 +49,14 @@ class PageTable:
     """
 
     def __init__(self, table_base: int) -> None:
+        self.table_base = table_base
         self._alloc_cursor = table_base
+        self.root = self._new_node()
+        self.mapped_pages = 0
+
+    def reset(self) -> None:
+        """Drop every mapping and node, back to a freshly built table."""
+        self._alloc_cursor = self.table_base
         self.root = self._new_node()
         self.mapped_pages = 0
 

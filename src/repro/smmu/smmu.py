@@ -94,6 +94,12 @@ class SMMU(SimObject):
             "stall_ticks", "cumulative translation stall"
         )
 
+    def reset_state(self) -> None:
+        super().reset_state()
+        self.utlb.reset()
+        self.tlb.reset()
+        self._fault_handler = None
+
     # ------------------------------------------------------------------
     # Translation
     # ------------------------------------------------------------------

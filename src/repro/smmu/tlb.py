@@ -87,6 +87,13 @@ class TLB:
         for entry_set in self._sets:
             entry_set.clear()
 
+    def reset(self) -> None:
+        """Drop all entries and zero the access counters."""
+        self.invalidate_all()
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

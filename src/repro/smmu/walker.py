@@ -53,6 +53,12 @@ class PageTableWalker(SimObject):
         )
         self._walk_ticks = self.stats.histogram("walk_ticks", "per-walk latency")
 
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._walk_cache.clear()
+        self._busy = False
+        self._pending.clear()
+
     # ------------------------------------------------------------------
     # Public interface
     # ------------------------------------------------------------------

@@ -30,10 +30,13 @@ from repro.sweep.engine import (
     WORKERS_ENV,
     SweepOutcome,
     SweepReport,
+    parse_shard,
     resolve_workers,
     run_sweep,
+    shard_points,
 )
 from repro.sweep.spec import (
+    RUNNERS,
     SWEEPS,
     SweepPoint,
     SweepSpec,
@@ -44,6 +47,10 @@ from repro.sweep.spec import (
     register_sweep,
     resolve_runner,
 )
+
+# Importing the experiments module registers every named figure/table
+# sweep in SWEEPS as a side effect.
+import repro.sweep.experiments  # noqa: E402,F401  (registration import)
 
 __all__ = [
     "SweepPoint",
@@ -56,6 +63,8 @@ __all__ = [
     "register_runner",
     "resolve_runner",
     "resolve_workers",
+    "parse_shard",
+    "shard_points",
     "gemm_points",
     "derive_seed",
     "ResultCache",
@@ -63,6 +72,7 @@ __all__ = [
     "point_key",
     "code_version",
     "default_cache_dir",
+    "RUNNERS",
     "SWEEPS",
     "CACHE_DIR_ENV",
     "WORKERS_ENV",

@@ -172,6 +172,69 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.root.glob("*.json"))
 
+    def entries(self):
+        """Yield ``(path, entry)`` for every readable cache entry.
+
+        Unreadable or malformed files are skipped -- maintenance tooling
+        must not fall over the same corrupt entry :meth:`get` tolerates.
+        """
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                with path.open("r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if not isinstance(entry, dict):
+                continue
+            yield path, entry
+
+    def summarize(self) -> dict:
+        """Aggregate statistics: entry/byte totals and per-sweep counts.
+
+        The per-sweep breakdown comes from each entry's ``meta.sweep``
+        tag (written by the engine); entries without one are grouped
+        under ``"(untagged)"``.
+        """
+        per_sweep: dict = {}
+        entries = 0
+        total_bytes = 0
+        for path, entry in self.entries():
+            entries += 1
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                pass
+            meta = entry.get("meta") or {}
+            sweep = meta.get("sweep") or "(untagged)"
+            per_sweep[sweep] = per_sweep.get(sweep, 0) + 1
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": total_bytes,
+            "sweeps": dict(sorted(per_sweep.items())),
+        }
+
+    def prune(self, sweep: str) -> int:
+        """Delete entries tagged with ``meta.sweep == sweep``.
+
+        Points shared between experiments (e.g. fig8/fig9) are tagged by
+        whichever sweep simulated them first; pruning removes the entry
+        regardless of who else could replay it.
+        """
+        removed = 0
+        for path, entry in self.entries():
+            meta = entry.get("meta") or {}
+            if meta.get("sweep") != sweep:
+                continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0

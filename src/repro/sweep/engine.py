@@ -26,7 +26,7 @@ import os
 import sys
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.sweep.cache import NullCache, ResultCache, point_key
 from repro.sweep.spec import (
@@ -64,6 +64,8 @@ class SweepReport:
     outcomes: List[SweepOutcome] = field(default_factory=list)
     workers: int = 1
     parallel: bool = False
+    #: (index, total) when this report covers one shard of the grid.
+    shard: Optional[Tuple[int, int]] = None
 
     @property
     def hits(self) -> int:
@@ -83,8 +85,10 @@ class SweepReport:
 
     def describe(self) -> str:
         mode = (f"{self.workers} workers" if self.parallel else "serial")
+        shard = (f", shard {self.shard[0]}/{self.shard[1]}"
+                 if self.shard else "")
         return (
-            f"sweep {self.spec_name!r}: {len(self.outcomes)} points, "
+            f"sweep {self.spec_name!r}: {len(self.outcomes)} points{shard}, "
             f"{self.hits} cached / {self.misses} simulated ({mode})"
         )
 
@@ -110,6 +114,44 @@ def resolve_workers(workers: Optional[int]) -> int:
                 )
                 workers = 1
     return max(1, workers)
+
+
+def parse_shard(value: str) -> Tuple[int, int]:
+    """Parse an ``I/N`` shard argument into a validated (index, total)."""
+    try:
+        index_text, total_text = value.split("/", 1)
+        index, total = int(index_text), int(total_text)
+    except ValueError:
+        raise ValueError(
+            f"shard must look like I/N (e.g. 2/4), got {value!r}"
+        ) from None
+    return validate_shard((index, total))
+
+
+def validate_shard(shard: Tuple[int, int]) -> Tuple[int, int]:
+    index, total = shard
+    if total < 1 or not 1 <= index <= total:
+        raise ValueError(
+            f"shard index must satisfy 1 <= I <= N, got {index}/{total}"
+        )
+    return index, total
+
+
+def shard_points(
+    points: List[SweepPoint], shard: Optional[Tuple[int, int]]
+) -> List[SweepPoint]:
+    """Deterministic slice of the grid for shard ``(index, total)``.
+
+    Round-robin by point position (``points[index-1::total]``): shards
+    are disjoint, exhaustive, independent of point *content*, and stable
+    across runs -- so N machines pointed at a shared cache directory each
+    simulate their slice exactly once and a final unsharded run replays
+    everything from cache.
+    """
+    if shard is None:
+        return list(points)
+    index, total = validate_shard(shard)
+    return list(points[index - 1::total])
 
 
 def _point_params(spec: SweepSpec, point: SweepPoint) -> dict:
@@ -187,6 +229,7 @@ def run_sweep(
     workers: Optional[int] = None,
     cache: Union[bool, ResultCache, NullCache] = True,
     cache_dir: Optional[os.PathLike] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> SweepReport:
     """Execute every point of ``spec``; replay cached points instantly.
 
@@ -199,6 +242,12 @@ def run_sweep(
         ``True`` (default) uses the on-disk cache at ``cache_dir`` (or
         its default location), ``False`` disables caching entirely, and
         an explicit cache object is used as-is.
+    shard:
+        ``(index, total)`` with ``1 <= index <= total``: simulate only a
+        deterministic 1/total slice of the grid (see
+        :func:`shard_points`).  Point cache keys are unchanged, so
+        shards run on different machines against a shared cache
+        directory compose into the full sweep.
     """
     if isinstance(cache, bool):
         store = ResultCache(cache_dir) if cache else NullCache()
@@ -207,11 +256,12 @@ def run_sweep(
     runner = resolve_runner(spec.runner)
     runner_ref = spec.runner  # name or callable; both pickle to workers
     workers = resolve_workers(workers)
+    points = shard_points(spec.points, shard)
 
     # Phase 1: cache lookups -------------------------------------------
-    slots: List[Optional[SweepOutcome]] = [None] * len(spec.points)
+    slots: List[Optional[SweepOutcome]] = [None] * len(points)
     pending: List[tuple] = []
-    for index, point in enumerate(spec.points):
+    for index, point in enumerate(points):
         params = _point_params(spec, point)
         key_hash = point_key(point, runner, params)
         record = store.get(key_hash)
@@ -300,4 +350,5 @@ def run_sweep(
         outcomes=[slot for slot in slots if slot is not None],
         workers=workers,
         parallel=parallel,
+        shard=validate_shard(shard) if shard else None,
     )

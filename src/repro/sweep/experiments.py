@@ -1,0 +1,364 @@
+"""The named-experiment registry: every paper figure as a SweepSpec.
+
+Each factory here builds the point grid of one figure, table, ablation
+or extension study, registered under a stable name so the CLI
+(``python -m repro sweep --name <x>``), the benchmark harnesses and the
+examples all share one experiment description layer.  Factories take
+keyword arguments with *reduced-scale* defaults; harnesses pass
+paper-scale values under ``REPRO_FULL=1``.
+
+Registered experiments:
+
+==================== ==================================================
+``pcie-bandwidth``   Fig. 3 -- GEMM time vs PCIe lanes x lane speed
+``packet-size``      Fig. 4 -- GEMM time vs request packet size
+``fig5-memory``      Fig. 5 -- DRAM type and location (device vs host)
+``fig6a-mem-bandwidth`` Fig. 6(a) -- device-memory bandwidth sweep
+``fig6b-mem-latency``   Fig. 6(b) -- device-memory latency sweep
+``fig7-transformer`` Fig. 7 -- ViT inference across the four systems
+``fig8-gemm-split``  Fig. 8 -- GEMM vs non-GEMM split per system
+``fig9-tradeoff``    Fig. 9 -- trade-off model calibration points
+``tab4-translation`` Tab. 4 -- address-translation metrics vs size
+``ablation-dataflow`` dataflow/pipelining design choices
+``ablation-smmu``    SMMU (uTLB / main TLB) sizing
+``access-modes``     Section III-C: DC vs DM vs DevMem
+``ext-cxl-gemm``     extension: streaming GEMM, CXL vs PCIe
+``ext-cxl-vit``      extension: DevMem NUMA penalty under CXL
+==================== ==================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.accel.systolic import SystolicParams
+from repro.core.access_modes import AccessMode
+from repro.core.config import SystemConfig
+from repro.memory.dram.devices import DDR4_2400, GDDR5, HBM2, LPDDR5
+from repro.smmu.smmu import SMMUConfig
+from repro.sweep.spec import (
+    SweepPoint,
+    SweepSpec,
+    gemm_points,
+    register_sweep,
+)
+from repro.workloads.vit import ViTConfig
+
+GB = 10**9
+
+
+# ----------------------------------------------------------------------
+# Fig. 3 / Fig. 4 -- interconnect sweeps
+# ----------------------------------------------------------------------
+@register_sweep("pcie-bandwidth")
+def pcie_bandwidth_sweep(
+    base: Optional[SystemConfig] = None,
+    size: int = 128,
+    lanes: Tuple[int, ...] = (2, 4, 8, 16),
+    speeds: Tuple[float, ...] = (2.0, 8.0, 32.0),
+) -> SweepSpec:
+    """Fig. 3 style grid: lanes x per-lane speed at a fixed GEMM size."""
+    base = base or SystemConfig.table2_baseline()
+    configs = {
+        (lane_count, gbps): base.with_pcie_bandwidth(lane_count, gbps)
+        for lane_count in lanes
+        for gbps in speeds
+    }
+    return SweepSpec(name="pcie-bandwidth", points=gemm_points(configs, size))
+
+
+@register_sweep("packet-size")
+def packet_size_sweep(
+    base: Optional[SystemConfig] = None,
+    size: int = 128,
+    packets: Tuple[int, ...] = (64, 128, 256, 512, 1024, 2048, 4096),
+) -> SweepSpec:
+    """Fig. 4 style sweep: request packet size at a fixed link."""
+    base = base or SystemConfig.table2_baseline()
+    configs = {packet: base.with_packet_size(packet) for packet in packets}
+    return SweepSpec(name="packet-size", points=gemm_points(configs, size))
+
+
+#: Fig. 4 full grid: (label GB/s) -> (lanes, lane Gb/s).
+FIG4_LINKS = {
+    4: (8, 4.0),
+    8: (8, 8.0),
+    16: (8, 16.0),
+    32: (8, 32.0),
+    64: (8, 64.0),
+}
+FIG4_PACKETS = (64, 128, 256, 512, 1024, 2048, 4096)
+
+
+@register_sweep("fig4-packet-grid")
+def fig4_packet_grid_sweep(
+    size: int = 256,
+    links=None,
+    packets: Tuple[int, ...] = FIG4_PACKETS,
+) -> SweepSpec:
+    """Fig. 4 full grid: packet size x link speed, wide-ingest array."""
+    links = links or FIG4_LINKS
+    wide_sa = SystolicParams(ingest_elems=16)
+    configs = {}
+    for label, (lanes, gbps) in links.items():
+        base = SystemConfig.table2_baseline(
+            systolic=wide_sa
+        ).with_pcie_bandwidth(lanes, gbps)
+        for packet in packets:
+            configs[(label, packet)] = base.with_packet_size(packet)
+    return SweepSpec(name="fig4-packet-grid",
+                     points=gemm_points(configs, size))
+
+
+# ----------------------------------------------------------------------
+# Fig. 5 / Fig. 6 -- memory system sweeps
+# ----------------------------------------------------------------------
+#: Wide ingest ports so the memory system, not the array, binds
+#: (the paper's Fig. 5/6 methodology; see EXPERIMENTS.md).
+_FIG5_SA = SystolicParams(ingest_elems=8)
+_FIG6_SA = SystolicParams(ingest_elems=6)
+FIG5_MEMORIES = (DDR4_2400, HBM2, GDDR5, LPDDR5)
+FIG6_BANDWIDTHS = (2, 4, 8, 16, 25, 50, 100, 256)
+FIG6_LATENCIES = (1, 3, 6, 12, 24, 36)
+
+
+@register_sweep("fig5-memory")
+def fig5_memory_sweep(size: int = 256, memories=FIG5_MEMORIES) -> SweepSpec:
+    """Fig. 5: DRAM type x location (device, host @2GB/s, host @64GB/s).
+
+    Host-side runs use the DM access method so reduced-scale LLC
+    retention does not mask the memory system.
+    """
+    configs = {}
+    for mem in memories:
+        configs[(mem.name, "device")] = SystemConfig.devmem_system(
+            devmem=mem, systolic=_FIG5_SA
+        )
+        configs[(mem.name, "host-2GB")] = SystemConfig.pcie_2gb(
+            host_mem=mem, systolic=_FIG5_SA,
+            access_mode=AccessMode.DIRECT_MEMORY,
+        )
+        configs[(mem.name, "host-64GB")] = SystemConfig.pcie_64gb(
+            host_mem=mem, systolic=_FIG5_SA,
+            access_mode=AccessMode.DIRECT_MEMORY,
+        )
+    return SweepSpec(name="fig5-memory", points=gemm_points(configs, size))
+
+
+def hbm_at_bandwidth(bw_gb: int):
+    """HBM2-class device scaled to a total bandwidth of ``bw_gb`` GB/s."""
+    rate = bw_gb * GB // (HBM2.channels * HBM2.data_width_bits // 8)
+    return dataclasses.replace(HBM2, name=f"HBM2-{bw_gb}GBs",
+                               data_rate_mts=max(1, rate // 10**6))
+
+
+def hbm_at_latency(lat_ns: int):
+    """HBM2-class device with core timings scaled to ``lat_ns``."""
+    return dataclasses.replace(
+        HBM2,
+        name=f"HBM2-{lat_ns}ns",
+        t_cl=float(lat_ns),
+        t_rcd=float(lat_ns),
+        t_rp=float(lat_ns),
+        t_ras=float(2 * lat_ns + 5),
+    )
+
+
+@register_sweep("fig6a-mem-bandwidth")
+def fig6a_bandwidth_sweep(
+    size: int = 256, bandwidths=FIG6_BANDWIDTHS
+) -> SweepSpec:
+    """Fig. 6(a): device-memory bandwidth swept at constant latency."""
+    configs = {
+        bw: SystemConfig.devmem_system(
+            devmem=hbm_at_bandwidth(bw), systolic=_FIG6_SA
+        )
+        for bw in bandwidths
+    }
+    return SweepSpec(name="fig6a-mem-bandwidth",
+                     points=gemm_points(configs, size))
+
+
+@register_sweep("fig6b-mem-latency")
+def fig6b_latency_sweep(size: int = 256, latencies=FIG6_LATENCIES) -> SweepSpec:
+    """Fig. 6(b): device-memory core timings swept at fixed bandwidth."""
+    configs = {
+        lat: SystemConfig.devmem_system(
+            devmem=hbm_at_latency(lat), systolic=_FIG6_SA
+        )
+        for lat in latencies
+    }
+    return SweepSpec(name="fig6b-mem-latency",
+                     points=gemm_points(configs, size))
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 / 8 / 9 -- transformer inference (the "vit" runner)
+# ----------------------------------------------------------------------
+def _vit_points(models, dim_scale: float, segment: int):
+    systems = SystemConfig.paper_systems()
+    return [
+        SweepPoint(
+            key=(model, name),
+            config=config.with_(dma_segment_bytes=segment),
+            params={"model": model, "dim_scale": dim_scale},
+        )
+        for model in models
+        for name, config in systems.items()
+    ]
+
+
+@register_sweep("fig7-transformer")
+def fig7_transformer_sweep(
+    models: Tuple[str, ...] = ("base", "large"),
+    dim_scale: float = 0.25,
+    segment: int = 16384,
+) -> SweepSpec:
+    """Fig. 7: ViT models x the four Section V-C systems."""
+    return SweepSpec(
+        name="fig7-transformer",
+        points=_vit_points(models, dim_scale, segment),
+        runner="vit",
+    )
+
+
+@register_sweep("fig8-gemm-split")
+def fig8_gemm_split_sweep(
+    model: str = "large", dim_scale: float = 0.25, segment: int = 16384
+) -> SweepSpec:
+    """Fig. 8: one ViT model across the four systems, split per op class.
+
+    Point keys are the system names; the GEMM/non-GEMM split is read off
+    the :class:`~repro.core.runner.ViTResult` fields.
+    """
+    points = [
+        SweepPoint(key=point.key[1], config=point.config, params=point.params)
+        for point in _vit_points((model,), dim_scale, segment)
+    ]
+    return SweepSpec(name="fig8-gemm-split", points=points, runner="vit")
+
+
+@register_sweep("fig9-tradeoff")
+def fig9_tradeoff_sweep(
+    model: str = "large", dim_scale: float = 0.25, segment: int = 16384
+) -> SweepSpec:
+    """Fig. 9: the calibration runs behind the analytical trade-off model.
+
+    Identical simulation points to ``fig8-gemm-split`` (the analytical
+    sweep itself is free post-processing), so the two experiments share
+    cache entries -- running either primes the other.
+    """
+    spec = fig8_gemm_split_sweep(model, dim_scale, segment)
+    return SweepSpec(name="fig9-tradeoff", points=spec.points, runner="vit")
+
+
+# ----------------------------------------------------------------------
+# Tab. 4 -- address translation
+# ----------------------------------------------------------------------
+@register_sweep("tab4-translation")
+def tab4_translation_sweep(
+    sizes: Tuple[int, ...] = (64, 128, 256, 512)
+) -> SweepSpec:
+    """Tab. 4: translation metrics vs matrix size on the baseline system."""
+    base = SystemConfig.table2_baseline()
+    points = [
+        SweepPoint(key=size, config=base,
+                   params={"m": size, "k": size, "n": size})
+        for size in sizes
+    ]
+    return SweepSpec(name="tab4-translation", points=points)
+
+
+# ----------------------------------------------------------------------
+# Ablations and access-method comparison
+# ----------------------------------------------------------------------
+@register_sweep("ablation-dataflow")
+def ablation_dataflow_sweep(size: int = 128) -> SweepSpec:
+    """Dataflow/pipelining design choices (DESIGN.md ablation)."""
+    base = SystemConfig.pcie_2gb()
+    configs = {
+        "baseline (stream)": base,
+        "reuse A panels": base.with_(reuse_a_panels=True),
+        "prefetch depth 1": base.with_(prefetch_depth=1),
+        "prefetch depth 4": base.with_(prefetch_depth=4),
+        "1 DMA tag": base.with_(dma_tags=1),
+        "32 DMA tags": base.with_(dma_tags=32),
+    }
+    return SweepSpec(name="ablation-dataflow",
+                     points=gemm_points(configs, size))
+
+
+@register_sweep("ablation-smmu")
+def ablation_smmu_sweep(
+    size: int = 128, utlbs: Tuple[int, ...] = (8, 32, 128)
+) -> SweepSpec:
+    """SMMU sizing: uTLB capacity, and a main TLB below/above footprint."""
+    footprint_pages = 3 * size * size * 4 // 4096
+    configs = {}
+    for utlb in utlbs:
+        configs[f"uTLB {utlb}"] = SystemConfig.pcie_2gb(
+            smmu=SMMUConfig(utlb_entries=utlb)
+        )
+    # Main TLB below/above the footprint (power-of-two sizes).  A 1-entry
+    # uTLB exposes every page transition to the main TLB so its capacity,
+    # not uTLB locality, is what is measured.
+    small_tlb = max(8, 1 << max(0, footprint_pages // 4).bit_length())
+    for tlb, label in ((small_tlb, "thrash"), (4096, "fits")):
+        configs[f"TLB {tlb} ({label})"] = SystemConfig.pcie_2gb(
+            smmu=SMMUConfig(utlb_entries=1, tlb_entries=tlb,
+                            tlb_assoc=min(8, tlb))
+        )
+    return SweepSpec(name="ablation-smmu", points=gemm_points(configs, size))
+
+
+@register_sweep("access-modes")
+def access_modes_sweep(size: int = 128) -> SweepSpec:
+    """Section III-C: the same GEMM under DC, DM and DevMem."""
+    configs = {
+        "DC": SystemConfig.table2_baseline(),
+        "DM": SystemConfig.table2_baseline(
+            access_mode=AccessMode.DIRECT_MEMORY
+        ),
+        "DevMem": SystemConfig.devmem_system(),
+    }
+    return SweepSpec(name="access-modes", points=gemm_points(configs, size))
+
+
+# ----------------------------------------------------------------------
+# CXL extension
+# ----------------------------------------------------------------------
+#: Tiny ViT used by the CXL NUMA-penalty study (runs in seconds).
+CXL_VIT_MODEL = ViTConfig("bench-tiny", hidden=128, layers=2, heads=4,
+                          image_size=96, patch_size=16)
+
+
+@register_sweep("ext-cxl-gemm")
+def ext_cxl_gemm_sweep(size: int = 128) -> SweepSpec:
+    """Extension: streaming GEMM parity, fat PCIe link vs CXL port."""
+    configs = {
+        "gemm_pcie": SystemConfig.pcie_64gb(),
+        "gemm_cxl": SystemConfig.cxl_host(),
+    }
+    return SweepSpec(name="ext-cxl-gemm", points=gemm_points(configs, size))
+
+
+@register_sweep("ext-cxl-vit")
+def ext_cxl_vit_sweep(vit_model: Optional[ViTConfig] = None) -> SweepSpec:
+    """Extension: the Fig. 8 NUMA penalty with a CXL-attached device.
+
+    The parameter is deliberately *not* named ``model`` so the CLI's
+    --model string override cannot silently swap the seconds-scale tiny
+    model for a full-dimension ViT variant.
+    """
+    model = vit_model or CXL_VIT_MODEL
+    configs = {
+        "vit_host": SystemConfig.pcie_64gb(),
+        "vit_devmem_pcie": SystemConfig.devmem_system(),
+        "vit_devmem_cxl": SystemConfig.devmem_cxl(),
+    }
+    points = [
+        SweepPoint(key=key, config=config, params={"model": model})
+        for key, config in configs.items()
+    ]
+    return SweepSpec(name="ext-cxl-vit", points=points, runner="vit")

@@ -10,22 +10,24 @@ Runners are registered by name (:func:`register_runner`) so a point can
 be shipped to a worker process as plain data and resolved there; a
 module-level callable works too (pickled by reference), provided it
 returns a JSON-safe dict -- register a codec (``encode``/``decode``)
-for richer result types.  The built-in ``"gemm"`` runner drives
-:func:`repro.core.runner.run_gemm` and round-trips its result through
-the on-disk cache.
+for richer result types.  The built-in ``"gemm"`` and ``"vit"`` runners
+drive :func:`repro.core.runner.run_gemm` / ``run_vit`` and round-trip
+their results through the on-disk cache.
 
 Named experiments live in :data:`SWEEPS` via :func:`register_sweep`; the
-CLI and examples look sweeps up there instead of hand-rolling loops.
+figure/table sweeps themselves are defined in
+:mod:`repro.sweep.experiments`, and the CLI and examples look sweeps up
+there instead of hand-rolling loops.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
 
 from repro.core.config import SystemConfig, canonical_value
-from repro.core.runner import GemmResult, run_gemm
+from repro.core.runner import GemmResult, ViTResult, run_gemm, run_vit
 
 
 @dataclass(frozen=True)
@@ -164,8 +166,9 @@ def _run_gemm_point(config: SystemConfig, **params) -> GemmResult:
 
 
 def _encode_gemm(result: GemmResult) -> dict:
-    # c_matrix and table4 are deliberately not cached: functional output
-    # belongs to --verify runs and Table IV has its own harness.
+    # c_matrix is deliberately not cached: functional output belongs to
+    # --verify runs.  table4 (plain ints/floats) rides along so the
+    # Table IV and SMMU-ablation sweeps replay from cache.
     return {
         "config_name": result.config_name,
         "m": result.m,
@@ -174,6 +177,7 @@ def _encode_gemm(result: GemmResult) -> dict:
         "ticks": result.ticks,
         "job_ticks": result.job_ticks,
         "traffic_bytes": result.traffic_bytes,
+        "table4": result.table4,
         "component_stats": dict(result.component_stats),
     }
 
@@ -187,11 +191,46 @@ def _decode_gemm(record: dict) -> GemmResult:
         ticks=record["ticks"],
         job_ticks=record["job_ticks"],
         traffic_bytes=record["traffic_bytes"],
+        table4=record.get("table4"),
         component_stats=dict(record.get("component_stats", {})),
     )
 
 
 register_runner("gemm", _run_gemm_point, _encode_gemm, _decode_gemm)
+
+
+# ----------------------------------------------------------------------
+# Built-in ViT runner
+# ----------------------------------------------------------------------
+def _run_vit_point(config: SystemConfig, **params) -> ViTResult:
+    return run_vit(config, **params)
+
+
+def _encode_vit(result: ViTResult) -> dict:
+    return {
+        "config_name": result.config_name,
+        "model_name": result.model_name,
+        "total_ticks": result.total_ticks,
+        "gemm_ticks": result.gemm_ticks,
+        "nongemm_ticks": result.nongemm_ticks,
+        "op_ticks": dict(result.op_ticks),
+        "memo_hits": result.memo_hits,
+    }
+
+
+def _decode_vit(record: dict) -> ViTResult:
+    return ViTResult(
+        config_name=record["config_name"],
+        model_name=record["model_name"],
+        total_ticks=record["total_ticks"],
+        gemm_ticks=record["gemm_ticks"],
+        nongemm_ticks=record["nongemm_ticks"],
+        op_ticks=dict(record.get("op_ticks", {})),
+        memo_hits=record.get("memo_hits", 0),
+    )
+
+
+register_runner("vit", _run_vit_point, _encode_vit, _decode_vit)
 
 
 # ----------------------------------------------------------------------
@@ -231,32 +270,3 @@ def gemm_points(
                    params={"m": size, "k": size, "n": size})
         for key, config in configs.items()
     ]
-
-
-@register_sweep("pcie-bandwidth")
-def pcie_bandwidth_sweep(
-    base: Optional[SystemConfig] = None,
-    size: int = 128,
-    lanes: Tuple[int, ...] = (2, 4, 8, 16),
-    speeds: Tuple[float, ...] = (2.0, 8.0, 32.0),
-) -> SweepSpec:
-    """Fig. 3 style grid: lanes x per-lane speed at a fixed GEMM size."""
-    base = base or SystemConfig.table2_baseline()
-    configs = {
-        (lane_count, gbps): base.with_pcie_bandwidth(lane_count, gbps)
-        for lane_count in lanes
-        for gbps in speeds
-    }
-    return SweepSpec(name="pcie-bandwidth", points=gemm_points(configs, size))
-
-
-@register_sweep("packet-size")
-def packet_size_sweep(
-    base: Optional[SystemConfig] = None,
-    size: int = 128,
-    packets: Tuple[int, ...] = (64, 128, 256, 512, 1024, 2048, 4096),
-) -> SweepSpec:
-    """Fig. 4 style sweep: request packet size at a fixed link."""
-    base = base or SystemConfig.table2_baseline()
-    configs = {packet: base.with_packet_size(packet) for packet in packets}
-    return SweepSpec(name="packet-size", points=gemm_points(configs, size))

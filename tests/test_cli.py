@@ -87,6 +87,95 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "0 cached / 7 simulated" in out
 
+    def test_sweep_list_shows_all_experiments(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "pcie-bandwidth", "packet-size", "fig5-memory",
+            "fig6a-mem-bandwidth", "fig6b-mem-latency", "fig7-transformer",
+            "fig8-gemm-split", "fig9-tradeoff", "tab4-translation",
+            "ablation-dataflow", "ablation-smmu", "access-modes",
+            "ext-cxl-gemm", "ext-cxl-vit",
+        ):
+            assert name in out, f"{name} missing from sweep --list"
+
+    def test_sweep_by_name(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "--name", "access-modes", "--size", "16",
+             "--cache-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "access-modes" in out
+        assert "DevMem" in out
+        assert "0 cached / 3 simulated" in out
+
+    def test_sweep_by_name_vit_runner(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "--name", "ext-cxl-vit", "--cache-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "non-GEMM" in out
+        assert "vit_devmem_cxl" in out
+
+    def test_sweep_unknown_name(self):
+        with pytest.raises(SystemExit, match="unknown sweep"):
+            main(["sweep", "--name", "no-such-figure"])
+
+    def test_sweep_name_honors_system_base(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "--name", "packet-size", "--system", "DevMem",
+             "--size", "16", "--cache-dir", str(tmp_path)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "ignores" not in captured.err
+
+    def test_sweep_name_warns_on_unsupported_system(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "--name", "access-modes", "--system", "DevMem",
+             "--size", "16", "--cache-dir", str(tmp_path)]
+        ) == 0
+        assert "ignores --system" in capsys.readouterr().err
+
+    def test_sweep_shard_flag(self, capsys, tmp_path):
+        argv = ["sweep", "--name", "access-modes", "--size", "16",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv + ["--shard", "1/3"]) == 0
+        assert "shard 1/3" in capsys.readouterr().out
+        assert main(argv + ["--shard", "2/3"]) == 0
+        assert main(argv + ["--shard", "3/3"]) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "3 cached / 0 simulated" in capsys.readouterr().out
+
+    def test_sweep_bad_shard_exits_cleanly(self, tmp_path):
+        # A malformed --shard must be a clean CLI error, not a traceback.
+        with pytest.raises(SystemExit, match="I/N"):
+            main(["sweep", "--name", "access-modes", "--shard", "bogus",
+                  "--cache-dir", str(tmp_path)])
+        with pytest.raises(SystemExit, match="shard"):
+            main(["sweep", "--name", "access-modes", "--shard", "0/4",
+                  "--cache-dir", str(tmp_path)])
+
+    def test_cache_stats_clear_prune(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "--name", "access-modes", "--size", "16",
+             "--cache-dir", str(tmp_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:    3" in out
+        assert "access-modes" in out
+        assert main(["cache", "prune", "--sweep", "access-modes",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 3 entries" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 0 entries" in capsys.readouterr().out
+
+    def test_cache_prune_requires_sweep(self, tmp_path):
+        with pytest.raises(SystemExit, match="--sweep"):
+            main(["cache", "prune", "--cache-dir", str(tmp_path)])
+
     def test_systems_lists_cxl_presets(self, capsys):
         assert main(["systems"]) == 0
         out = capsys.readouterr().out

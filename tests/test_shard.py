@@ -1,0 +1,103 @@
+"""Sweep sharding: deterministic, disjoint, exhaustive point slices."""
+
+import pytest
+
+from repro import SystemConfig
+from repro.sweep import (
+    ResultCache,
+    SweepPoint,
+    SweepSpec,
+    build_sweep,
+    gemm_points,
+    parse_shard,
+    run_sweep,
+    shard_points,
+)
+
+SIZE = 24
+
+
+def grid_spec(n: int = 10) -> SweepSpec:
+    base = SystemConfig.table2_baseline()
+    configs = {64 * (i + 1): base.with_packet_size(64 * (i + 1))
+               for i in range(n)}
+    return SweepSpec(name="shard-test", points=gemm_points(configs, SIZE))
+
+
+class TestShardPartitioning:
+    @pytest.mark.parametrize("total", [1, 2, 3, 4, 7, 10, 13])
+    def test_disjoint_and_exhaustive(self, total):
+        points = grid_spec().points
+        shards = [shard_points(points, (i, total))
+                  for i in range(1, total + 1)]
+        seen = [p.key for shard in shards for p in shard]
+        assert sorted(seen) == sorted(p.key for p in points)
+        assert len(seen) == len(set(seen)), "shards overlap"
+
+    def test_deterministic(self):
+        points = grid_spec().points
+        first = [p.key for p in shard_points(points, (2, 4))]
+        second = [p.key for p in shard_points(points, (2, 4))]
+        assert first == second
+
+    def test_no_shard_is_identity(self):
+        points = grid_spec().points
+        assert shard_points(points, None) == list(points)
+
+    def test_invalid_shards_rejected(self):
+        points = grid_spec().points
+        for bad in ((0, 4), (5, 4), (1, 0), (-1, 2)):
+            with pytest.raises(ValueError, match="shard"):
+                shard_points(points, bad)
+
+    def test_parse_shard(self):
+        assert parse_shard("1/4") == (1, 4)
+        assert parse_shard("4/4") == (4, 4)
+        with pytest.raises(ValueError, match="I/N"):
+            parse_shard("nope")
+        with pytest.raises(ValueError, match="shard"):
+            parse_shard("0/4")
+
+
+class TestShardedExecution:
+    def test_shards_compose_into_full_grid(self, tmp_path):
+        """Acceptance: 1/4..4/4 over a shared cache dir cover exactly the
+        full grid with no point simulated twice."""
+        spec = grid_spec(n=6)
+        simulated = 0
+        for index in range(1, 5):
+            report = run_sweep(spec, workers=1, cache_dir=tmp_path,
+                               shard=(index, 4))
+            assert report.hits == 0, "shards must not overlap"
+            simulated += report.misses
+        assert simulated == len(spec)
+        assert len(ResultCache(tmp_path)) == len(spec)
+        # A final unsharded run replays everything from cache.
+        full = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        assert full.fully_cached
+        assert [o.key for o in full.outcomes] == [p.key for p in spec.points]
+
+    def test_shard_results_match_full_run(self, tmp_path):
+        spec = grid_spec(n=4)
+        full = run_sweep(spec, workers=1, cache_dir=tmp_path / "full")
+        halves = {}
+        for index in (1, 2):
+            report = run_sweep(spec, workers=1, cache_dir=tmp_path / "shard",
+                               shard=(index, 2))
+            halves.update({o.key: o.record for o in report.outcomes})
+        assert halves == {o.key: o.record for o in full.outcomes}
+
+    def test_report_carries_shard(self, tmp_path):
+        report = run_sweep(grid_spec(n=4), workers=1, cache=False,
+                           shard=(1, 2))
+        assert report.shard == (1, 2)
+        assert "shard 1/2" in report.describe()
+
+    def test_registered_sweep_shards(self, tmp_path):
+        spec = build_sweep("tab4-translation", sizes=(16, 24, 32))
+        keys = []
+        for index in (1, 2, 3):
+            report = run_sweep(spec, workers=1, cache_dir=tmp_path,
+                               shard=(index, 3))
+            keys.extend(o.key for o in report.outcomes)
+        assert sorted(keys) == [16, 24, 32]

@@ -155,6 +155,42 @@ class TestCache:
         assert cache.clear() == 2
         assert len(cache) == 0
 
+    def test_summarize_groups_by_sweep(self, tmp_path):
+        run_sweep(small_spec(packets=(64, 128), name="sweep-a"),
+                  workers=1, cache_dir=tmp_path)
+        run_sweep(small_spec(packets=(256,), name="sweep-b"),
+                  workers=1, cache_dir=tmp_path)
+        summary = ResultCache(tmp_path).summarize()
+        assert summary["entries"] == 3
+        assert summary["bytes"] > 0
+        assert summary["sweeps"] == {"sweep-a": 2, "sweep-b": 1}
+
+    def test_summarize_empty_cache(self, tmp_path):
+        summary = ResultCache(tmp_path / "nowhere").summarize()
+        assert summary["entries"] == 0
+        assert summary["sweeps"] == {}
+
+    def test_prune_removes_only_named_sweep(self, tmp_path):
+        spec_a = small_spec(packets=(64, 128), name="sweep-a")
+        spec_b = small_spec(packets=(256,), name="sweep-b")
+        run_sweep(spec_a, workers=1, cache_dir=tmp_path)
+        run_sweep(spec_b, workers=1, cache_dir=tmp_path)
+        cache = ResultCache(tmp_path)
+        assert cache.prune("sweep-a") == 2
+        assert len(cache) == 1
+        # sweep-b untouched: replays from cache.
+        assert run_sweep(spec_b, workers=1,
+                         cache_dir=tmp_path).fully_cached
+        # sweep-a re-simulates.
+        assert run_sweep(spec_a, workers=1,
+                         cache_dir=tmp_path).misses == 2
+
+    def test_summarize_skips_corrupt_entries(self, tmp_path):
+        run_sweep(small_spec(packets=(64,)), workers=1, cache_dir=tmp_path)
+        (tmp_path / "deadbeef.json").write_text("{not json")
+        summary = ResultCache(tmp_path).summarize()
+        assert summary["entries"] == 1
+
 
 class TestSpec:
     def test_duplicate_keys_rejected(self):

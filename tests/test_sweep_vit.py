@@ -1,0 +1,164 @@
+"""ViT runner registration, cache round-trip, and the experiment registry."""
+
+import pytest
+
+from repro import SystemConfig, ViTResult
+from repro.sweep import (
+    RUNNERS,
+    SWEEPS,
+    SweepPoint,
+    SweepSpec,
+    build_sweep,
+    point_key,
+    resolve_runner,
+    run_sweep,
+)
+from repro.workloads.vit import ViTConfig
+
+TINY_VIT = ViTConfig("sweep-tiny", hidden=64, layers=1, heads=4,
+                     image_size=64, patch_size=16)
+
+
+def tiny_vit_spec(name="vit-test") -> SweepSpec:
+    systems = {
+        "host": SystemConfig.pcie_8gb(),
+        "devmem": SystemConfig.devmem_system(),
+    }
+    points = [
+        SweepPoint(key=key, config=config, params={"model": TINY_VIT})
+        for key, config in systems.items()
+    ]
+    return SweepSpec(name=name, points=points, runner="vit")
+
+
+def vit_fields(result: ViTResult) -> tuple:
+    return (
+        result.config_name,
+        result.model_name,
+        result.total_ticks,
+        result.gemm_ticks,
+        result.nongemm_ticks,
+        dict(result.op_ticks),
+        result.memo_hits,
+    )
+
+
+class TestViTRunnerRegistration:
+    def test_registered(self):
+        assert "vit" in RUNNERS
+        assert resolve_runner("vit").name == "vit"
+
+    def test_spec_accepts_vit_runner(self):
+        spec = tiny_vit_spec()
+        assert spec.runner == "vit"
+
+    def test_vit_point_keys_hash_vitconfig_params(self):
+        base = SystemConfig.pcie_8gb()
+        point_a = SweepPoint(key=1, config=base, params={"model": TINY_VIT})
+        other = ViTConfig("sweep-tiny2", hidden=64, layers=2, heads=4,
+                          image_size=64, patch_size=16)
+        point_b = SweepPoint(key=1, config=base, params={"model": other})
+        assert point_key(point_a, "vit") != point_key(point_b, "vit")
+
+
+class TestViTCacheRoundTrip:
+    def test_replay_is_bit_identical(self, tmp_path):
+        spec = tiny_vit_spec()
+        live = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        assert (live.hits, live.misses) == (0, 2)
+        replay = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        assert replay.fully_cached
+        for fresh, cached in zip(live.outcomes, replay.outcomes):
+            assert fresh.record == cached.record
+            assert vit_fields(fresh.result) == vit_fields(cached.result)
+            assert isinstance(cached.result, ViTResult)
+
+    def test_op_ticks_and_memo_hits_survive_encoding(self, tmp_path):
+        spec = tiny_vit_spec()
+        live = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        replay = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        for key in live.results():
+            fresh = live.results()[key]
+            cached = replay.results()[key]
+            assert fresh.op_ticks == cached.op_ticks
+            assert fresh.memo_hits == cached.memo_hits
+            assert fresh.total_ticks == cached.total_ticks
+            assert sum(cached.op_ticks.values()) == (
+                cached.gemm_ticks + cached.nongemm_ticks
+            )
+
+    def test_parallel_equals_serial(self, tmp_path):
+        spec = tiny_vit_spec()
+        serial = run_sweep(spec, workers=1, cache_dir=tmp_path / "s")
+        parallel = run_sweep(spec, workers=2, cache_dir=tmp_path / "p")
+        serial_records = {o.key: o.record for o in serial.outcomes}
+        parallel_records = {o.key: o.record for o in parallel.outcomes}
+        assert serial_records == parallel_records
+
+
+class TestGemmTable4RoundTrip:
+    def test_table4_survives_the_cache(self, tmp_path):
+        spec = build_sweep("tab4-translation", sizes=(32,))
+        live = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        replay = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        assert replay.fully_cached
+        fresh = live.results()[32].table4
+        cached = replay.results()[32].table4
+        assert fresh is not None
+        assert fresh == cached
+
+    def test_devmem_table4_none_round_trips(self, tmp_path):
+        spec = build_sweep("access-modes", size=16)
+        run_sweep(spec, workers=1, cache_dir=tmp_path)
+        replay = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        assert replay.fully_cached
+        assert replay.results()["DevMem"].table4 is None
+        assert replay.results()["DC"].table4 is not None
+
+
+class TestFig7SweepReplay:
+    def test_fig7_replays_entirely_from_cache(self, tmp_path):
+        """Acceptance: the fig7 sweep run twice against a cache dir
+        replays every transformer point from cache, bit-identically."""
+        spec = build_sweep("fig7-transformer", models=("base",),
+                          dim_scale=0.0625)
+        live = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        assert live.misses == len(spec)
+        replay = run_sweep(spec, workers=1, cache_dir=tmp_path)
+        assert replay.fully_cached
+        assert {o.key: o.record for o in live.outcomes} == {
+            o.key: o.record for o in replay.outcomes
+        }
+
+
+class TestExperimentRegistry:
+    REQUIRED = {
+        "pcie-bandwidth", "packet-size", "fig4-packet-grid",
+        "fig5-memory", "fig6a-mem-bandwidth", "fig6b-mem-latency",
+        "fig7-transformer", "fig8-gemm-split", "fig9-tradeoff",
+        "tab4-translation", "ablation-dataflow", "ablation-smmu",
+        "access-modes", "ext-cxl-gemm", "ext-cxl-vit",
+    }
+
+    def test_all_figures_registered(self):
+        assert self.REQUIRED <= set(SWEEPS)
+
+    @pytest.mark.parametrize("name", sorted(REQUIRED))
+    def test_every_factory_builds(self, name):
+        spec = build_sweep(name)
+        assert len(spec) > 0
+        assert spec.name == name
+
+    def test_fig8_and_fig9_share_cache_keys(self):
+        fig8 = build_sweep("fig8-gemm-split")
+        fig9 = build_sweep("fig9-tradeoff")
+        keys8 = {point_key(p, fig8.runner) for p in fig8.points}
+        keys9 = {point_key(p, fig9.runner) for p in fig9.points}
+        assert keys8 == keys9
+
+    def test_fig7_covers_models_by_system_grid(self):
+        spec = build_sweep("fig7-transformer", models=("base",))
+        assert {key for key, _name in (p.key for p in spec.points)} == {"base"}
+        assert {name for _key, name in (p.key for p in spec.points)} == {
+            "PCIe-2GB", "PCIe-8GB", "PCIe-64GB", "DevMem"
+        }

@@ -14,10 +14,16 @@ Examples::
     python -m repro vit --system DevMem --model base --dim-scale 0.25
     python -m repro sweep --list
     python -m repro sweep --name fig7-transformer --workers 4
+    python -m repro sweep --name fig8-gemm-split --name fig9-tradeoff
     python -m repro sweep --name tab4-translation --shard 1/4
     python -m repro cache stats
     python -m repro cache prune --sweep fig7-transformer
     python -m repro systems
+
+Repeating ``--name`` batches several sweeps through one worker-pool
+invocation; while points simulate a live ``[done/total]`` progress line
+is shown on stderr (tty-only; ``REPRO_PROGRESS=1`` forces it on,
+``REPRO_PROGRESS=0`` off).
 """
 
 from __future__ import annotations
@@ -40,7 +46,7 @@ from repro.sweep import (
     ResultCache,
     build_sweep,
     parse_shard,
-    run_sweep,
+    run_sweeps,
 )
 from repro.workloads import GemmWorkload
 
@@ -198,6 +204,36 @@ def _result_rows(report):
     return header, rows
 
 
+def _progress_printer():
+    """A live ``done/total`` line on stderr while a sweep simulates.
+
+    Enabled when stderr is a terminal, or when ``REPRO_PROGRESS=1``
+    forces it (useful under redirection); ``REPRO_PROGRESS=0`` disables
+    it entirely.  Returns ``(progress_fn or None, finish_fn)``.
+    """
+    import os
+
+    env = os.environ.get("REPRO_PROGRESS")
+    enabled = (env == "1") or (env != "0" and sys.stderr.isatty())
+    if not enabled:
+        return None, lambda: None
+    state = {"wrote": False}
+
+    def progress(done: int, total: int, outcome) -> None:
+        origin = "cached" if outcome.cached else "simulated"
+        # \x1b[K clears to end of line: a short status must not leave
+        # residue from a longer predecessor.
+        print(f"\r[{done}/{total}] {origin} {outcome.key!r}\x1b[K",
+              end="", file=sys.stderr, flush=True)
+        state["wrote"] = True
+
+    def finish() -> None:
+        if state["wrote"]:
+            print(file=sys.stderr, flush=True)
+
+    return progress, finish
+
+
 def cmd_sweep(args) -> int:
     if args.list:
         return _list_sweeps()
@@ -206,47 +242,60 @@ def cmd_sweep(args) -> int:
         shard = parse_shard(args.shard) if args.shard else None
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
-    if args.name:
-        if args.name not in SWEEPS:
-            raise SystemExit(
-                f"unknown sweep {args.name!r}; see python -m repro sweep --list"
-            )
+    names = args.name or []
+    kind = None  # resolved shorthand kind (set when --name is absent)
+    if names:
+        for name in names:
+            if name not in SWEEPS:
+                raise SystemExit(
+                    f"unknown sweep {name!r}; "
+                    f"see python -m repro sweep --list"
+                )
         if args.kind is not None:
-            print(f"note: sweep {args.name!r} ignores --kind",
+            print(f"note: sweep {names[0]!r} ignores --kind",
                   file=sys.stderr)
-        spec = build_sweep(args.name, **_factory_kwargs(args.name, args))
+        specs = [build_sweep(name, **_factory_kwargs(name, args))
+                 for name in names]
     else:
         # Back-compat shorthand for the two classic GEMM sweeps.
         base = _system_by_name(args.system or "Table2")
         size = args.size if args.size is not None else 128
-        if (args.kind or "bandwidth") == "bandwidth":
-            spec = build_sweep("pcie-bandwidth", base=base, size=size)
+        kind = args.kind or "bandwidth"
+        if kind == "bandwidth":
+            specs = [build_sweep("pcie-bandwidth", base=base, size=size)]
         else:
-            spec = build_sweep("packet-size", base=base, size=size)
-    report = run_sweep(
-        spec,
-        workers=args.workers,
-        cache=not args.no_cache,
-        cache_dir=args.cache_dir,
-        shard=shard,
-    )
-    results = report.results()
-    if not args.name and args.kind == "bandwidth":
-        rows = [
-            (f"x{lanes}", f"{gbps:g}", f"{result.seconds * 1e6:.1f}")
-            for (lanes, gbps), result in results.items()
-        ]
-        print(format_table(["lanes", "Gb/s/lane", "exec us"], rows))
-    elif not args.name:
-        rows = [
-            (packet, f"{result.seconds * 1e6:.1f}")
-            for packet, result in results.items()
-        ]
-        print(format_table(["packet B", "exec us"], rows))
-    else:
-        header, rows = _result_rows(report)
-        print(format_table(header, rows, title=spec.name))
-    print(report.describe())
+            specs = [build_sweep("packet-size", base=base, size=size)]
+    # All requested sweeps run against one worker-pool invocation.
+    progress, progress_done = _progress_printer()
+    try:
+        reports = run_sweeps(
+            specs,
+            workers=args.workers,
+            cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            shard=shard,
+            progress=progress,
+        )
+    finally:
+        progress_done()
+    for spec, report in zip(specs, reports):
+        results = report.results()
+        if not names and kind == "bandwidth":
+            rows = [
+                (f"x{lanes}", f"{gbps:g}", f"{result.seconds * 1e6:.1f}")
+                for (lanes, gbps), result in results.items()
+            ]
+            print(format_table(["lanes", "Gb/s/lane", "exec us"], rows))
+        elif not names:
+            rows = [
+                (packet, f"{result.seconds * 1e6:.1f}")
+                for packet, result in results.items()
+            ]
+            print(format_table(["packet B", "exec us"], rows))
+        else:
+            header, rows = _result_rows(report)
+            print(format_table(header, rows, title=spec.name))
+        print(report.describe())
     return 0
 
 
@@ -310,9 +359,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--list", action="store_true",
                          help="list registered experiments and exit")
-    p_sweep.add_argument("--name", default=None,
+    p_sweep.add_argument("--name", action="append", default=None,
                          help="registered experiment to run "
-                              "(see --list; covers every paper figure)")
+                              "(see --list; covers every paper figure); "
+                              "repeat to batch several sweeps through "
+                              "one worker-pool invocation")
     p_sweep.add_argument("--kind", choices=["bandwidth", "packet"],
                          default=None,
                          help="classic GEMM sweeps (when --name is unset; "

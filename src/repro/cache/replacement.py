@@ -52,10 +52,12 @@ class LRUPolicy(ReplacementPolicy):
         return min(occupied, key=stamps.__getitem__)
 
     def reset(self) -> None:
+        if self._stamp == 0:
+            return  # untouched since construction/reset
         self._stamp = 0
+        zero = [0] * self.assoc
         for row in self._last_use:
-            for way in range(self.assoc):
-                row[way] = 0
+            row[:] = zero
 
 
 class FIFOPolicy(ReplacementPolicy):
@@ -77,10 +79,12 @@ class FIFOPolicy(ReplacementPolicy):
         return min(occupied, key=stamps.__getitem__)
 
     def reset(self) -> None:
+        if self._stamp == 0:
+            return  # untouched since construction/reset
         self._stamp = 0
+        zero = [0] * self.assoc
         for row in self._fill_time:
-            for way in range(self.assoc):
-                row[way] = 0
+            row[:] = zero
 
 
 class RandomPolicy(ReplacementPolicy):

@@ -143,13 +143,21 @@ class TagStore:
         return dirty
 
     def reset(self) -> None:
-        """Empty every set and rewind the replacement policy."""
-        for ways in self._sets:
-            for way in ways:
+        """Empty every set and rewind the replacement policy.
+
+        Walks only the *resident* lines (``_where`` knows exactly which
+        ways are occupied) instead of every way of every set, so resetting
+        a barely-touched tag store between memoized-sweep points is
+        O(resident lines) rather than O(capacity).
+        """
+        if self._where:
+            sets = self._sets
+            for set_index, way_index in self._where.values():
+                way = sets[set_index][way_index]
                 way.line = None
                 way.dirty = False
-        self._where.clear()
-        self._occupancy = [0] * self.num_sets
+            self._where.clear()
+            self._occupancy = [0] * self.num_sets
         self.policy.reset()
 
     # ------------------------------------------------------------------

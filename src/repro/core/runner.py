@@ -263,7 +263,15 @@ def _write_operands(
 
 
 def _snapshot(system: AcceSysSystem) -> Dict[str, float]:
-    """A compact stat snapshot for reports."""
+    """A compact stat snapshot for reports.
+
+    Cost is O(components touched since the last reset), not O(all
+    stats): each ``StatGroup.flatten`` is memoized behind a dirty flag,
+    and a freshly reset (memoized) system serves pristine rows computed
+    once per process -- see :mod:`repro.sim.statistics`.  The returned
+    dict is a fresh copy either way; values are bit-identical to a full
+    walk.
+    """
     out: Dict[str, float] = {}
     for component in (
         system.wrapper.systolic,

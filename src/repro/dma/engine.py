@@ -27,13 +27,43 @@ from repro.sim.transaction import MemCmd, Transaction
 DescriptorDoneFn = Callable[[DMADescriptor], None]
 
 
+class _Work:
+    """One submitted descriptor's issue/retire state.
+
+    ``channel`` is the owning channel's index, so the fully-issued retire
+    path pops the right queue directly instead of scanning every channel
+    for the entry.  ``size`` and ``is_read`` cache descriptor fields the
+    per-segment loop would otherwise re-derive through attribute (and
+    property) lookups.
+    """
+
+    __slots__ = (
+        "descriptor", "channel", "size", "is_read",
+        "next_offset", "outstanding", "on_complete",
+    )
+
+    def __init__(
+        self,
+        descriptor: DMADescriptor,
+        channel: int,
+        on_complete: Optional[DescriptorDoneFn],
+    ) -> None:
+        self.descriptor = descriptor
+        self.channel = channel
+        self.size = descriptor.size
+        self.is_read = descriptor.is_read
+        self.next_offset = 0
+        self.outstanding = 0
+        self.on_complete = on_complete
+
+
 class _ChannelState:
-    """Per-channel queue of (descriptor, remaining segments) work."""
+    """Per-channel queue of pending :class:`_Work`."""
 
     __slots__ = ("queue",)
 
     def __init__(self) -> None:
-        self.queue: Deque[dict] = deque()
+        self.queue: Deque[_Work] = deque()
 
 
 class DMAEngine(SimObject):
@@ -99,13 +129,9 @@ class DMAEngine(SimObject):
             raise ValueError(
                 f"channel {channel} out of range 0..{self.num_channels - 1}"
             )
-        work = {
-            "descriptor": descriptor,
-            "next_offset": 0,
-            "outstanding": 0,
-            "on_complete": on_complete,
-        }
-        self._channels[channel].queue.append(work)
+        self._channels[channel].queue.append(
+            _Work(descriptor, channel, on_complete)
+        )
         self._pump()
 
     def submit_list(
@@ -132,66 +158,73 @@ class DMAEngine(SimObject):
     # Issue loop
     # ------------------------------------------------------------------
     def _pump(self) -> None:
-        """Issue segments round-robin across channels while tags remain."""
-        while self._tags_in_use < self.max_outstanding:
-            work = self._next_work()
+        """Issue segments round-robin across channels while tags remain.
+
+        The round-robin scan is inlined (rather than a `_next_work` call
+        per issued segment): the pump runs after every submit and every
+        segment completion, making it the DMA engine's hottest loop.
+        """
+        max_outstanding = self.max_outstanding
+        channels = self._channels
+        num_channels = self.num_channels
+        while self._tags_in_use < max_outstanding:
+            work = None
+            index = self._rr_next
+            for _step in range(num_channels):
+                queue = channels[index].queue
+                if queue:
+                    head = queue[0]
+                    if head.next_offset < head.size:
+                        work = head
+                        self._rr_next = index + 1 if index + 1 < num_channels else 0
+                        break
+                index = index + 1 if index + 1 < num_channels else 0
             if work is None:
                 return
             self._issue_segment(work)
 
-    def _next_work(self) -> Optional[dict]:
-        """Head-of-queue work of the next busy channel (round-robin)."""
-        for step in range(self.num_channels):
-            index = (self._rr_next + step) % self.num_channels
-            queue = self._channels[index].queue
-            if queue and queue[0]["next_offset"] < queue[0]["descriptor"].size:
-                self._rr_next = (index + 1) % self.num_channels
-                return queue[0]
-        return None
-
-    def _issue_segment(self, work: dict) -> None:
-        descriptor: DMADescriptor = work["descriptor"]
+    def _issue_segment(self, work: _Work) -> None:
+        descriptor = work.descriptor
         # Segment size is the read-request granularity (PCIe max read
         # request); the on-wire packet size rides on the transaction and
         # is applied by the link's TLP model.
-        seg_size = self.segment_bytes
-        offset = work["next_offset"]
-        size = min(seg_size, descriptor.size - offset)
-        work["next_offset"] = offset + size
-        work["outstanding"] += 1
+        offset = work.next_offset
+        total = work.size
+        size = min(self.segment_bytes, total - offset)
+        work.next_offset = offset + size
+        work.outstanding += 1
 
-        cmd = MemCmd.READ if descriptor.is_read else MemCmd.WRITE
+        is_read = work.is_read
+        cmd = MemCmd.READ if is_read else MemCmd.WRITE
         txn = Transaction(cmd, descriptor.addr + offset, size, source=self.name)
         txn.stream = descriptor.stream
         txn.packet_size = descriptor.packet_size
-        txn.issue_tick = self.now
+        txn.issue_tick = self.sim.now
         self._tags_in_use += 1
-        self._segments.inc()
-        if descriptor.is_read:
-            self._bytes_read.inc(size)
+        # Batched stat update (equivalent to inc() per counter).
+        self._segments.value += 1
+        if is_read:
+            self._bytes_read.value += size
         else:
-            self._bytes_written.inc(size)
+            self._bytes_written.value += size
+        self.stats.dirty = True
 
-        if work["next_offset"] >= descriptor.size:
-            # Fully issued: retire from its channel queue.
-            for channel in self._channels:
-                if channel.queue and channel.queue[0] is work:
-                    channel.queue.popleft()
-                    break
+        if work.next_offset >= total:
+            # Fully issued: retire from the owning channel's queue.  The
+            # work being issued is by construction that queue's head.
+            self._channels[work.channel].queue.popleft()
 
         def segment_done(done_txn: Transaction) -> None:
-            done_txn.complete_tick = self.now
-            self._latency.sample(done_txn.complete_tick - done_txn.issue_tick)
+            now = self.sim.now
+            done_txn.complete_tick = now
+            self._latency.sample(now - done_txn.issue_tick)
             self._tags_in_use -= 1
-            work["outstanding"] -= 1
-            if (
-                work["next_offset"] >= descriptor.size
-                and work["outstanding"] == 0
-            ):
-                descriptor.completed_at = self.now
+            work.outstanding -= 1
+            if work.outstanding == 0 and work.next_offset >= total:
+                descriptor.completed_at = now
                 self._descriptors.inc()
-                if work["on_complete"] is not None:
-                    work["on_complete"](descriptor)
+                if work.on_complete is not None:
+                    work.on_complete(descriptor)
             self._pump()
 
         self.target.send(txn, segment_done)

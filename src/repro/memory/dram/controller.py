@@ -29,7 +29,7 @@ from repro.memory.dram.timings import DRAMTimings
 from repro.memory.physmem import PhysicalMemory
 from repro.sim.eventq import Simulator
 from repro.sim.ports import CompletionFn, TargetPort
-from repro.sim.transaction import Transaction
+from repro.sim.transaction import MemCmd, Transaction
 from repro.sim.ticks import ns
 
 
@@ -96,6 +96,12 @@ class DRAMController(TargetPort):
         self._num_banks = t.banks * t.ranks
         #: Channel interleave granularity: one burst, at least a cache line.
         self._interleave = max(64, t.burst_bytes)
+        #: Hot-loop timing bundle: one attribute load + unpack in
+        #: _access_channel instead of eight attribute loads.
+        self._timing = (
+            self._t_burst, self._t_cl, self._t_rcd, self._t_rp,
+            self._t_ras, self._t_rc, self._t_rfc, self._t_refi,
+        )
 
         self._channels = [
             _Channel(self._num_banks, self._t_refi) for _ in range(t.channels)
@@ -122,34 +128,42 @@ class DRAMController(TargetPort):
     # TargetPort interface
     # ------------------------------------------------------------------
     def send(self, txn: Transaction, on_complete: CompletionFn) -> None:
-        if not self.range.contains(txn.addr):
+        addr = txn.addr
+        if not self.range.contains(addr):
             raise ValueError(
-                f"{self.name}: address {txn.addr:#x} outside {self.range}"
+                f"{self.name}: address {addr:#x} outside {self.range}"
             )
-        if txn.is_read:
-            self._reads.inc()
-            self._bytes_read.inc(txn.size)
+        # Batched stat update: bump the counters directly and mark the
+        # group dirty once (equivalent to inc() per counter, fewer calls).
+        size = txn.size
+        if txn.cmd is MemCmd.READ:
+            self._reads.value += 1
+            self._bytes_read.value += size
         else:
-            self._writes.inc()
-            self._bytes_written.inc(txn.size)
-        self._bytes.inc(txn.size)
+            self._writes.value += 1
+            self._bytes_written.value += size
+        self._bytes.value += size
+        self.stats.dirty = True
 
-        offset = txn.addr - self.range.start
-        arrive = self.now + self._t_ctrl
+        offset = addr - self.range.start
+        arrive = self.sim.now + self._t_ctrl
         finish = arrive
-        num_ch = len(self._channels)
-        if num_ch == 1:
-            finish = self._access_channel(0, offset, txn.size, arrive)
+        if len(self._channels) == 1:
+            finish = self._access_channel(0, offset, size, arrive)
         else:
+            access = self._access_channel
             for ch_idx, local_addr, local_size in self._split_channels(
-                offset, txn.size
+                offset, size
             ):
-                done = self._access_channel(ch_idx, local_addr, local_size, arrive)
-                finish = max(finish, done)
+                done = access(ch_idx, local_addr, local_size, arrive)
+                if done > finish:
+                    finish = done
 
         if self.backing is not None:
             self._functional_access(txn)
-        self.schedule_at(finish, lambda: on_complete(txn))
+        self.sim.schedule_at(
+            finish, lambda: on_complete(txn), name=self.name
+        )
 
     # ------------------------------------------------------------------
     # Channel striping
@@ -165,11 +179,11 @@ class DRAMController(TargetPort):
         """
         gran = self._interleave
         num_ch = len(self._channels)
+        pieces: List[tuple[int, int, int]] = []
         first_block = offset // gran
         last_block = (offset + size - 1) // gran
         head_missing = offset - first_block * gran
         tail_missing = (last_block + 1) * gran - (offset + size)
-        pieces: List[tuple[int, int, int]] = []
         for ch in range(num_ch):
             first_for_ch = first_block + (ch - first_block) % num_ch
             if first_for_ch > last_block:
@@ -190,49 +204,81 @@ class DRAMController(TargetPort):
     # Bank-state walk
     # ------------------------------------------------------------------
     def _access_channel(self, ch_idx: int, addr: int, size: int, start: int) -> int:
-        """Walk ``[addr, addr+size)`` on one channel; return finish tick."""
+        """Walk ``[addr, addr+size)`` on one channel; return finish tick.
+
+        The timing constants and per-segment stat counts are bound to /
+        accumulated in locals: this method runs once per channel piece of
+        every memory transaction, which makes it the hottest pure-Python
+        loop in DRAM-bound sweeps.
+        """
         channel = self._channels[ch_idx]
+        banks = channel.banks
         row_bytes = self._row_bytes
         burst_bytes = self._burst_bytes
+        num_banks = self._num_banks
+        t_burst, t_cl, t_rcd, t_rp, t_ras, t_rc, t_rfc, t_refi = self._timing
+        bus_free_at = channel.bus_free_at
+        next_refresh_at = channel.next_refresh_at
+        row_hits = row_misses = bursts = refreshes = 0
         finish = start
         pos = addr
         end = addr + size
         while pos < end:
             block = pos // row_bytes
-            seg_end = min(end, (block + 1) * row_bytes)
+            seg_end = (block + 1) * row_bytes
+            if seg_end > end:
+                seg_end = end
             nbursts = -(-(seg_end - pos) // burst_bytes)
-            bank = channel.banks[block % self._num_banks]
-            row = block // self._num_banks
+            bank = banks[block % num_banks]
+            row = block // num_banks
 
-            ready = max(bank.ready_at, start)
+            ready = bank.ready_at
+            if ready < start:
+                ready = start
             if bank.open_row != row:
+                act_at = bank.act_at
                 if bank.open_row is not None:
-                    pre_at = max(ready, bank.act_at + self._t_ras)
-                    ready = pre_at + self._t_rp
-                act_at = max(ready, bank.act_at + self._t_rc)
+                    pre_at = act_at + t_ras
+                    if pre_at < ready:
+                        pre_at = ready
+                    ready = pre_at + t_rp
+                if act_at + t_rc > ready:
+                    act_at += t_rc
+                else:
+                    act_at = ready
                 bank.act_at = act_at
                 bank.open_row = row
-                ready = act_at + self._t_rcd
-                self._row_misses.inc()
-                self._row_hits.inc(nbursts - 1)
+                ready = act_at + t_rcd
+                row_misses += 1
+                row_hits += nbursts - 1
             else:
-                self._row_hits.inc(nbursts)
+                row_hits += nbursts
 
-            data_at = max(ready, channel.bus_free_at)
+            data_at = ready if ready > bus_free_at else bus_free_at
             # Refresh blackout: catch up past any elapsed refresh windows.
-            while data_at >= channel.next_refresh_at:
-                blocked = max(data_at, channel.next_refresh_at + self._t_rfc)
+            while data_at >= next_refresh_at:
+                blocked = next_refresh_at + t_rfc
                 if blocked > data_at:
-                    self._refreshes.inc()
+                    refreshes += 1
+                else:
+                    blocked = data_at
                 data_at = blocked
-                channel.next_refresh_at += self._t_refi
+                next_refresh_at += t_refi
 
-            done = data_at + nbursts * self._t_burst
-            channel.bus_free_at = done
+            done = data_at + nbursts * t_burst
+            bus_free_at = done
             bank.ready_at = done
-            self._bursts.inc(nbursts)
-            finish = max(finish, done + self._t_cl)
+            bursts += nbursts
+            if done + t_cl > finish:
+                finish = done + t_cl
             pos = seg_end
+        channel.bus_free_at = bus_free_at
+        channel.next_refresh_at = next_refresh_at
+        self._row_hits.value += row_hits
+        self._row_misses.value += row_misses
+        self._bursts.value += bursts
+        self._refreshes.value += refreshes
+        self.stats.dirty = True
         return finish
 
     def _functional_access(self, txn: Transaction) -> None:

@@ -89,17 +89,22 @@ class QueueStation(TargetPort):
         self._server_free_at = 0
 
     def send(self, txn: Transaction, on_complete: CompletionFn) -> None:
-        self._queued.inc()
-        start = max(self.now, self._server_free_at)
+        sim = self.sim
+        now = sim.now
+        start = now if now > self._server_free_at else self._server_free_at
         service = self.service_time(txn)
         done = start + service
         self._server_free_at = done
-        self._busy_ticks.inc(service)
+        # Batched stat update (equivalent to inc() per counter).
+        self._queued.value += 1
+        self._busy_ticks.value += service
+        self.stats.dirty = True
         if self.forward_to is None:
-            self.schedule_at(done, lambda: on_complete(txn))
+            sim.schedule_at(done, lambda: on_complete(txn), name=self.name)
         else:
             target = self.forward_to
-            self.schedule_at(done, lambda: target.send(txn, on_complete))
+            sim.schedule_at(done, lambda: target.send(txn, on_complete),
+                            name=self.name)
 
     @property
     def backlog_ticks(self) -> int:
@@ -139,18 +144,24 @@ class PipelinedLink(TargetPort):
         self._wire_free_at = 0
 
     def send(self, txn: Transaction, on_complete: CompletionFn) -> None:
-        self._count.inc()
-        self._bytes.inc(txn.size)
-        start = max(self.now, self._wire_free_at)
+        sim = self.sim
+        now = sim.now
+        start = now if now > self._wire_free_at else self._wire_free_at
         serialize = self._serialize_fn(txn)
         self._wire_free_at = start + serialize
-        self._busy_ticks.inc(serialize)
+        # Batched stat update (equivalent to inc() per counter).
+        self._count.value += 1
+        self._bytes.value += txn.size
+        self._busy_ticks.value += serialize
+        self.stats.dirty = True
         arrival = start + serialize + self.prop_delay
         if self.forward_to is None:
-            self.schedule_at(arrival, lambda: on_complete(txn))
+            sim.schedule_at(arrival, lambda: on_complete(txn),
+                            name=self.name)
         else:
             target = self.forward_to
-            self.schedule_at(arrival, lambda: target.send(txn, on_complete))
+            sim.schedule_at(arrival, lambda: target.send(txn, on_complete),
+                            name=self.name)
 
     @property
     def backlog_ticks(self) -> int:

@@ -37,6 +37,9 @@ class SimObject:
         self.stats.reset()
 
     # Scheduling shorthand -------------------------------------------------
+    # Hot components (links, DRAM, DMA) call ``self.sim.schedule``
+    # directly to skip this extra frame; the shorthand remains the
+    # readable default and tags events with the component name.
     def schedule(
         self, delay: int, callback: Callable[[], None], priority: int = 100
     ) -> Event:

@@ -30,9 +30,11 @@ from repro.sweep.engine import (
     WORKERS_ENV,
     SweepOutcome,
     SweepReport,
+    iter_sweep,
     parse_shard,
     resolve_workers,
     run_sweep,
+    run_sweeps,
     shard_points,
 )
 from repro.sweep.spec import (
@@ -58,6 +60,8 @@ __all__ = [
     "SweepOutcome",
     "SweepReport",
     "run_sweep",
+    "run_sweeps",
+    "iter_sweep",
     "build_sweep",
     "register_sweep",
     "register_runner",

@@ -13,6 +13,14 @@ end:
 3. fresh records are written back to the cache and decoded into the
    same result type a cache hit yields.
 
+Results stream: the pool is driven with ``imap_unordered``, so every
+entry point can observe points as they finish rather than after the
+whole grid barriers.  :func:`iter_sweep` exposes that stream directly;
+:func:`run_sweep` accepts a ``progress`` callback; and
+:func:`run_sweeps` executes *several* specs against one worker-pool
+invocation, amortizing pool spin-up across experiments (the named
+registry makes sweep composition plain data).
+
 Worker count resolves from the ``workers`` argument, then the
 ``REPRO_SWEEP_WORKERS`` environment variable, then 1 (serial).  Any
 failure to stand up the pool degrades gracefully to in-process serial
@@ -26,7 +34,17 @@ import os
 import sys
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.sweep.cache import NullCache, ResultCache, point_key
 from repro.sweep.spec import (
@@ -196,25 +214,26 @@ def _pool_entry(payload) -> tuple:
         return index, _WorkerFailure.capture(point, exc)
 
 
-def _run_parallel(jobs: List[tuple], workers: int) -> Optional[List[tuple]]:
-    """Shard ``jobs`` across a process pool; None means "fall back".
+def _run_parallel(jobs: List[tuple], workers: int):
+    """Stream ``jobs`` through a process pool; None means "fall back".
 
     ``fork`` is preferred (no re-import, cheap start); platforms without
-    it use ``spawn``.  Pool-infrastructure failures -- unpicklable
-    payloads, an interpreter without ``multiprocessing`` support, a
-    sandbox that forbids subprocesses -- are caught and reported as a
-    fallback, because the serial path computes identical results.
-    Exceptions raised by the simulation itself come back as
-    :class:`_WorkerFailure` values mixed into the result list; the
-    engine caches the successful siblings and then raises, so a broken
-    point is never "fixed" by re-running everything serially.
+    it use ``spawn``.  Pool stand-up failures -- an interpreter without
+    ``multiprocessing`` support, a sandbox that forbids subprocesses --
+    are caught and reported as a fallback, because the serial path
+    computes identical results.  On success, returns an iterator of
+    ``(index, record)`` pairs in *completion* order
+    (``imap_unordered``), so the consumer observes points as they
+    finish.  Exceptions raised by the simulation itself come back as
+    :class:`_WorkerFailure` values mixed into the stream; the engine
+    caches the successful siblings and then raises, so a broken point
+    is never "fixed" by re-running everything serially.
     """
     try:
         methods = multiprocessing.get_all_start_methods()
         method = "fork" if "fork" in methods else "spawn"
         context = multiprocessing.get_context(method)
-        with context.Pool(processes=workers) as pool:
-            return pool.map(_pool_entry, jobs)
+        pool = context.Pool(processes=workers)
     except Exception as exc:  # noqa: BLE001 - fallback is the contract
         print(
             f"repro.sweep: parallel execution unavailable ({exc!r}); "
@@ -223,6 +242,222 @@ def _run_parallel(jobs: List[tuple], workers: int) -> Optional[List[tuple]]:
         )
         return None
 
+    def stream():
+        with pool:
+            yield from pool.imap_unordered(_pool_entry, jobs)
+
+    return stream()
+
+
+@dataclass
+class _EngineState:
+    """Bookkeeping the streaming core reports back to its entry point."""
+
+    workers: int = 1
+    parallel: bool = False
+    failures: List[_WorkerFailure] = field(default_factory=list)
+
+
+def _resolve_store(cache, cache_dir):
+    if isinstance(cache, bool):
+        return ResultCache(cache_dir) if cache else NullCache()
+    return cache
+
+
+def _execute(
+    specs: Sequence[SweepSpec],
+    sharded: Sequence[List[SweepPoint]],
+    workers: int,
+    store,
+    state: _EngineState,
+) -> Iterator[Tuple[int, int, SweepOutcome]]:
+    """Core streaming engine shared by every entry point.
+
+    Yields ``(spec_index, point_index, outcome)`` as points finish:
+    cached points first (in point order), then simulated points in
+    completion order.  All specs' pending points share one pool
+    invocation, and points with identical cache keys (point-identical
+    experiments like fig8/fig9, or batched duplicates) are simulated
+    once -- followers replay the sibling's record as a cache hit would.
+    Raises after the stream is exhausted if any point failed --
+    successful siblings are cached (and yielded) first.
+    """
+    runners = [resolve_runner(spec.runner) for spec in specs]
+
+    # Phase 1: cache lookups -------------------------------------------
+    pending: List[tuple] = []  # (gi, si, pi, point, params, key_hash)
+    first_of_key: Dict[str, int] = {}
+    #: gi of a pending point -> identically-keyed points awaiting it.
+    followers: Dict[int, List[tuple]] = {}
+    for si, (spec, points) in enumerate(zip(specs, sharded)):
+        runner = runners[si]
+        for pi, point in enumerate(points):
+            params = _point_params(spec, point)
+            key_hash = point_key(point, runner, params)
+            record = store.get(key_hash)
+            if record is not None:
+                yield si, pi, SweepOutcome(
+                    point=point,
+                    result=runner.decode(record),
+                    record=record,
+                    cached=True,
+                    key_hash=key_hash,
+                )
+                continue
+            prior_gi = first_of_key.get(key_hash)
+            if prior_gi is not None:
+                # Identical cache key already pending (point-identical
+                # experiments like fig8/fig9, or a batched duplicate):
+                # simulate once, fan the record out on completion.
+                followers.setdefault(prior_gi, []).append(
+                    (si, pi, point, key_hash)
+                )
+                continue
+            first_of_key[key_hash] = len(pending)
+            pending.append(
+                (len(pending), si, pi, point, params, key_hash)
+            )
+
+    # Phase 2+3 interleaved: simulate, write back, yield ---------------
+    cache_write_failed = False
+
+    def finish(entry, record) -> Optional[Tuple[int, int, SweepOutcome]]:
+        nonlocal cache_write_failed
+        _gi, si, pi, point, params, key_hash = entry
+        if isinstance(record, _WorkerFailure):
+            state.failures.append(record)
+            return None
+        try:
+            store.put(
+                key_hash,
+                record,
+                meta={
+                    "sweep": specs[si].name,
+                    "point": repr(point.key),
+                    "config": point.config.name,
+                },
+            )
+        except (OSError, TypeError) as exc:
+            # A broken cache location (OSError) or a JSON-unsafe record
+            # from a codec-less runner (TypeError) must not discard
+            # finished work; report once and keep returning live results.
+            if not cache_write_failed:
+                print(
+                    f"repro.sweep: cannot write result cache ({exc}); "
+                    f"results will not be reusable",
+                    file=sys.stderr,
+                )
+                cache_write_failed = True
+        return si, pi, SweepOutcome(
+            point=point,
+            result=runners[si].decode(record),
+            record=record,
+            cached=False,
+            key_hash=key_hash,
+        )
+
+    def emit(entry, record):
+        """Outcomes for one finished point plus its deduped followers."""
+        out = finish(entry, record)
+        if out is None:
+            return
+        yield out
+        for fsi, fpi, fpoint, fhash in followers.get(entry[0], ()):
+            # A follower never simulated: it replays the sibling's
+            # record, exactly as a cache hit would have.
+            yield fsi, fpi, SweepOutcome(
+                point=fpoint,
+                result=runners[fsi].decode(record),
+                record=record,
+                cached=True,
+                key_hash=fhash,
+            )
+
+    stream = None
+    if workers > 1 and len(pending) > 1:
+        # runner refs (names or module-level callables) pickle to workers
+        jobs = [(gi, specs[si].runner, point, params)
+                for gi, si, pi, point, params, _hash in pending]
+        stream = _run_parallel(jobs, min(workers, len(jobs)))
+
+    done: set = set()
+    if stream is not None:
+        state.parallel = True
+        stream_iter = iter(stream)
+        while True:
+            # Only the *stream* step is guarded: an infrastructure
+            # failure there (e.g. an unpicklable payload surfacing at
+            # dispatch) falls back to serial, while errors from
+            # finish()/decode on an already-delivered record propagate
+            # loudly, exactly as they do on the serial path.
+            try:
+                gi, record = next(stream_iter)
+            except StopIteration:
+                break
+            except Exception as exc:  # noqa: BLE001 - fallback contract
+                print(
+                    f"repro.sweep: parallel execution unavailable "
+                    f"({exc!r}); falling back to serial",
+                    file=sys.stderr,
+                )
+                state.parallel = False
+                break
+            done.add(gi)
+            yield from emit(pending[gi], record)
+    if stream is None or not state.parallel:
+        # Serial (or fallback): fail fast on the first broken point, but
+        # flow earlier successes through `finish` so they reach the
+        # cache before the raise below.
+        for entry in pending:
+            gi, si, pi, point, params, _hash = entry
+            if gi in done:
+                continue
+            try:
+                record = _simulate(runners[si], point, params)
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                state.failures.append(_WorkerFailure.capture(point, exc))
+                break
+            done.add(gi)
+            yield from emit(entry, record)
+
+    if state.failures:
+        first = state.failures[0]
+        others = (f"\n({len(state.failures) - 1} more point(s) also failed)"
+                  if len(state.failures) > 1 else "")
+        raise RuntimeError(
+            f"sweep point {first.point_key} failed: {first.message}\n"
+            f"{first.traceback}{others}"
+        )
+
+
+#: Progress callback: (finished points, total points, newest outcome).
+ProgressFn = Callable[[int, int, SweepOutcome], None]
+
+
+def iter_sweep(
+    spec: SweepSpec,
+    workers: Optional[int] = None,
+    cache: Union[bool, ResultCache, NullCache] = True,
+    cache_dir: Optional[os.PathLike] = None,
+    shard: Optional[Tuple[int, int]] = None,
+) -> Iterator[SweepOutcome]:
+    """Yield :class:`SweepOutcome`\\ s as points finish.
+
+    Cached points arrive first (in point order, effectively instantly);
+    simulated points follow in *completion* order -- under a worker pool
+    that is whatever order the workers finish in.  This is the streaming
+    face of :func:`run_sweep`: consume it for live progress bars or to
+    start plotting a grid before its slowest point lands.  Arguments
+    match :func:`run_sweep`.
+    """
+    store = _resolve_store(cache, cache_dir)
+    state = _EngineState(workers=resolve_workers(workers))
+    points = shard_points(spec.points, shard)
+    for _si, _pi, outcome in _execute(
+        [spec], [points], state.workers, store, state
+    ):
+        yield outcome
+
 
 def run_sweep(
     spec: SweepSpec,
@@ -230,6 +465,7 @@ def run_sweep(
     cache: Union[bool, ResultCache, NullCache] = True,
     cache_dir: Optional[os.PathLike] = None,
     shard: Optional[Tuple[int, int]] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> SweepReport:
     """Execute every point of ``spec``; replay cached points instantly.
 
@@ -248,107 +484,57 @@ def run_sweep(
         :func:`shard_points`).  Point cache keys are unchanged, so
         shards run on different machines against a shared cache
         directory compose into the full sweep.
+    progress:
+        Optional callback invoked as each point finishes with
+        ``(finished, total, outcome)``; see :func:`iter_sweep` for a
+        generator interface instead.
     """
-    if isinstance(cache, bool):
-        store = ResultCache(cache_dir) if cache else NullCache()
-    else:
-        store = cache
-    runner = resolve_runner(spec.runner)
-    runner_ref = spec.runner  # name or callable; both pickle to workers
+    return run_sweeps(
+        [spec], workers=workers, cache=cache, cache_dir=cache_dir,
+        shard=shard, progress=progress,
+    )[0]
+
+
+def run_sweeps(
+    specs: Sequence[SweepSpec],
+    workers: Optional[int] = None,
+    cache: Union[bool, ResultCache, NullCache] = True,
+    cache_dir: Optional[os.PathLike] = None,
+    shard: Optional[Tuple[int, int]] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[SweepReport]:
+    """Execute several sweeps against **one** worker-pool invocation.
+
+    All uncached points across ``specs`` are pooled into a single
+    ``multiprocessing`` fan-out, so running N small experiments costs
+    one pool spin-up instead of N -- and short sweeps pack the idle
+    workers a long sibling would leave behind.  Returns one
+    :class:`SweepReport` per spec, each identical to what a separate
+    :func:`run_sweep` call would produce (points keep their per-spec
+    order; cache keys are unchanged).  ``progress`` counts points across
+    the whole batch.
+    """
+    store = _resolve_store(cache, cache_dir)
     workers = resolve_workers(workers)
-    points = shard_points(spec.points, shard)
-
-    # Phase 1: cache lookups -------------------------------------------
-    slots: List[Optional[SweepOutcome]] = [None] * len(points)
-    pending: List[tuple] = []
-    for index, point in enumerate(points):
-        params = _point_params(spec, point)
-        key_hash = point_key(point, runner, params)
-        record = store.get(key_hash)
-        if record is not None:
-            slots[index] = SweepOutcome(
-                point=point,
-                result=runner.decode(record),
-                record=record,
-                cached=True,
-                key_hash=key_hash,
-            )
-        else:
-            pending.append((index, runner_ref, point, params, key_hash))
-
-    # Phase 2: simulate the misses -------------------------------------
-    fresh: Dict[int, dict] = {}
-    parallel = workers > 1 and len(pending) > 1
-    if parallel:
-        jobs = [(index, ref, point, params)
-                for index, ref, point, params, _ in pending]
-        mapped = _run_parallel(jobs, min(workers, len(jobs)))
-        if mapped is None:
-            parallel = False
-        else:
-            fresh = dict(mapped)
-    if not parallel:
-        for index, _ref, point, params, _hash in pending:
-            try:
-                fresh[index] = _simulate(runner, point, params)
-            except Exception as exc:  # noqa: BLE001 - re-raised below
-                # Fail fast, but still flow through phase 3 so already
-                # simulated points reach the cache before the raise.
-                fresh[index] = _WorkerFailure.capture(point, exc)
-                break
-
-    # Phase 3: write back and decode -----------------------------------
-    cache_write_failed = False
-    failures: List[_WorkerFailure] = []
-    for index, _ref, point, params, key_hash in pending:
-        record = fresh.get(index)
-        if record is None:
-            continue  # serial run aborted before reaching this point
-        if isinstance(record, _WorkerFailure):
-            failures.append(record)
-            continue
-        try:
-            store.put(
-                key_hash,
-                record,
-                meta={
-                    "sweep": spec.name,
-                    "point": repr(point.key),
-                    "config": point.config.name,
-                },
-            )
-        except (OSError, TypeError) as exc:
-            # A broken cache location (OSError) or a JSON-unsafe record
-            # from a codec-less runner (TypeError) must not discard
-            # finished work; report once and keep returning live results.
-            if not cache_write_failed:
-                print(
-                    f"repro.sweep: cannot write result cache ({exc}); "
-                    f"results will not be reusable",
-                    file=sys.stderr,
-                )
-                cache_write_failed = True
-        slots[index] = SweepOutcome(
-            point=point,
-            result=runner.decode(record),
-            record=record,
-            cached=False,
-            key_hash=key_hash,
+    state = _EngineState(workers=workers)
+    sharded = [shard_points(spec.points, shard) for spec in specs]
+    total = sum(len(points) for points in sharded)
+    slots: List[List[Optional[SweepOutcome]]] = [
+        [None] * len(points) for points in sharded
+    ]
+    finished = 0
+    for si, pi, outcome in _execute(specs, sharded, workers, store, state):
+        slots[si][pi] = outcome
+        finished += 1
+        if progress is not None:
+            progress(finished, total, outcome)
+    return [
+        SweepReport(
+            spec_name=spec.name,
+            outcomes=[slot for slot in spec_slots if slot is not None],
+            workers=workers,
+            parallel=state.parallel,
+            shard=validate_shard(shard) if shard else None,
         )
-
-    if failures:
-        first = failures[0]
-        others = (f"\n({len(failures) - 1} more point(s) also failed)"
-                  if len(failures) > 1 else "")
-        raise RuntimeError(
-            f"sweep point {first.point_key} failed: {first.message}\n"
-            f"{first.traceback}{others}"
-        )
-
-    return SweepReport(
-        spec_name=spec.name,
-        outcomes=[slot for slot in slots if slot is not None],
-        workers=workers,
-        parallel=parallel,
-        shard=validate_shard(shard) if shard else None,
-    )
+        for spec, spec_slots in zip(specs, slots)
+    ]

@@ -164,3 +164,36 @@ class TestEngine:
         hist = engine.stats["segment_ticks"]
         assert hist.count == 1
         assert hist.mean == ns(100)
+
+    def test_fully_issued_work_retires_from_its_own_channel(self):
+        """Regression for the retire path: work carries its channel index.
+
+        Identical descriptors queued on every channel used to make the
+        old retire scan ambiguous-looking (it walked all channels for
+        the head matching by identity); the threaded index must retire
+        each work from exactly its owning queue, so every channel drains
+        and every completion fires once.
+        """
+        sim, engine, _ = make_engine(num_channels=4, segment_bytes=64,
+                                     max_outstanding=2)
+        done = []
+        for channel in range(4):
+            # Same address/size on purpose: only identity/channel differ.
+            engine.submit(read_desc(addr=0, size=256),
+                          lambda d, c=channel: done.append(c),
+                          channel=channel)
+        sim.run()
+        assert sorted(done) == [0, 1, 2, 3]
+        assert engine.idle
+        assert all(not ch.queue for ch in engine._channels)
+
+    def test_work_records_channel_and_descriptor_fields(self):
+        sim, engine, _ = make_engine(num_channels=2, segment_bytes=64,
+                                     max_outstanding=1)
+        engine.submit(read_desc(size=128), channel=1)
+        work = engine._channels[1].queue[0]
+        assert work.channel == 1
+        assert work.size == 128
+        assert work.is_read
+        sim.run()
+        assert engine.idle

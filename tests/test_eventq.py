@@ -144,3 +144,138 @@ class TestSimulator:
         sim.schedule(20, lambda: None)
         sim.run_until_idle(lambda: state["done"])
         assert sim.now == 10
+
+
+class TestFreelist:
+    """Executed and reaped events recycle through the queue's slab."""
+
+    def test_executed_events_are_recycled(self):
+        sim = Simulator()
+        seen = []
+
+        def chain():
+            if len(seen) < 5:
+                handle = sim.schedule(1, chain)
+                seen.append(handle)
+
+        sim.schedule(1, chain)
+        sim.run()
+        # Steady-state rescheduling recycles handles: the executing event
+        # returns to the freelist only after its callback finishes, so a
+        # single train ping-pongs between (at most) two objects instead
+        # of allocating five.
+        assert len(set(map(id, seen))) <= 2
+
+    def test_no_allocation_in_steady_state(self):
+        sim = Simulator()
+        count = {"n": 0}
+
+        def fire():
+            count["n"] += 1
+            if count["n"] < 1000:
+                sim.schedule(3, fire)
+
+        sim.schedule(1, fire)
+        before = len(sim.queue._free)
+        sim.run()
+        # One live train running 1000 events allocates at most two Event
+        # objects total (the ping-pong pair); the freelist holds them at
+        # the end instead of having churned a thousand allocations.
+        assert len(sim.queue._free) <= before + 2
+
+    def test_reset_discards_freelist_and_counters(self):
+        sim = Simulator()
+        handle = sim.schedule(1, lambda: None)
+        handle.cancel()
+        sim.schedule(2, lambda: None)
+        sim.run()
+        assert sim.events_skipped == 1
+        sim.reset()
+        assert sim.events_skipped == 0
+        assert len(sim.queue._free) == 0
+        assert sim.queue._seq == 0
+
+    def test_cancelled_events_counted_by_pop_and_peek(self):
+        q = EventQueue()
+        a = q.push(1, lambda: None)
+        q.push(2, lambda: None)
+        b = q.push(3, lambda: None)
+        a.cancel()
+        b.cancel()
+        assert q.peek_tick() == 2  # reaps the cancelled head
+        assert q.skipped_cancelled == 1
+        assert q.pop().when == 2
+        assert q.pop() is None  # reaps the trailing cancelled event
+        assert q.skipped_cancelled == 2
+
+    def test_cancel_after_completion_is_rejected(self):
+        # A released handle (fired, sitting on the freelist) must refuse
+        # cancel() rather than silently killing a future recycled event.
+        sim = Simulator()
+        handle = sim.schedule(1, lambda: None)
+        sim.run()
+        with pytest.raises(RuntimeError, match="completed event handle"):
+            handle.cancel()
+
+    def test_run_counts_skipped_cancelled(self):
+        sim = Simulator()
+        for tick in (1, 2, 3, 4):
+            handle = sim.schedule(tick, lambda: None)
+            if tick % 2:
+                handle.cancel()
+        sim.run()
+        assert sim.events_executed == 2
+        assert sim.events_skipped == 2
+
+
+class TestQuiesceThrottle:
+    """run_until_idle backs off the predicate without changing results."""
+
+    def test_long_run_checks_quiesce_sparsely(self):
+        sim = Simulator()
+        checks = {"n": 0}
+        count = {"n": 0}
+        total = 5000
+
+        def fire():
+            count["n"] += 1
+            if count["n"] < total:
+                sim.schedule(1, fire)
+
+        def quiesce():
+            checks["n"] += 1
+            return count["n"] >= total
+
+        sim.schedule(1, fire)
+        sim.run_until_idle(quiesce)
+        assert count["n"] == total
+        # Backed off: far fewer predicate calls than events executed.
+        assert checks["n"] < total / 4
+
+    def test_quiesce_holds_when_returning(self):
+        sim = Simulator()
+        state = {"fired": 0}
+
+        def fire():
+            state["fired"] += 1
+            if state["fired"] < 300:
+                sim.schedule(1, fire)
+
+        sim.schedule(1, fire)
+        # The predicate turns true mid-run; the throttle may overrun by
+        # up to the current interval, but it must never return while the
+        # predicate is false.
+        target = 100
+        final = sim.run_until_idle(lambda: state["fired"] >= target)
+        assert state["fired"] >= target
+
+    def test_short_runs_keep_exact_stop_tick(self):
+        # Below the backoff threshold the historical check-per-event
+        # behaviour is exact: the run stops at the quiescing event.
+        sim = Simulator()
+        seen = []
+        for tick in (1, 2, 3, 4, 5):
+            sim.schedule(tick, lambda t=tick: seen.append(t))
+        sim.run_until_idle(lambda: len(seen) == 3)
+        assert sim.now == 3
+        assert seen == [1, 2, 3]

@@ -98,6 +98,93 @@ class TestStatGroup:
         assert "y" not in group
 
 
+class TestDirtyFlagSnapshots:
+    """flatten() memoization: clean groups never re-walk their stats."""
+
+    def test_mutation_marks_group_dirty(self):
+        group = StatGroup("c")
+        counter = group.scalar("hits")
+        group.flatten()
+        assert not group.dirty
+        counter.inc()
+        assert group.dirty
+
+    def test_flatten_cached_until_dirty(self):
+        group = StatGroup("c")
+        counter = group.scalar("hits")
+        counter.inc(3)
+        first = group.flatten()
+        assert group.flatten() is first  # served from cache
+        counter.inc()
+        second = group.flatten()
+        assert second is not first
+        assert dict(second)["c.hits"] == 4
+
+    def test_generation_tracks_observable_changes(self):
+        group = StatGroup("c")
+        counter = group.scalar("hits")
+        group.flatten()
+        gen = group.generation
+        group.flatten()
+        assert group.generation == gen  # cached: nothing new observable
+        counter.inc()
+        group.flatten()
+        assert group.generation == gen + 1
+
+    def test_reset_serves_pristine_snapshot(self):
+        group = StatGroup("c")
+        counter = group.scalar("hits")
+        histogram = group.histogram("lat")
+        pristine = group.flatten()  # computed before any mutation
+        counter.inc(7)
+        histogram.sample(3)
+        assert dict(group.flatten())["c.hits"] == 7
+        group.reset()
+        assert not group.dirty
+        # After reset the shared pristine rows are served without a walk.
+        assert group.flatten() is pristine
+        assert dict(pristine)["c.hits"] == 0
+
+    def test_late_registration_invalidates_caches(self):
+        group = StatGroup("c")
+        group.scalar("a").inc()
+        group.flatten()
+        group.scalar("b")  # new stat after a snapshot was cached
+        flat = dict(group.flatten())
+        assert set(flat) == {"c.a", "c.b"}
+
+    def test_late_registration_never_poisons_pristine_rows(self):
+        """Regression: mutate -> flatten -> register -> flatten must not
+        capture the mutated values as the shared pristine snapshot --
+        a later reset() would then serve stale non-zero rows."""
+        group = StatGroup("c")
+        counter = group.scalar("a")
+        counter.inc(5)
+        group.flatten()  # clears dirty; group is clean but NOT pristine
+        group.scalar("b")  # late registration drops the caches
+        group.flatten()  # must not be captured as pristine
+        group.reset()
+        flat = dict(group.flatten())
+        assert flat == {"c.a": 0, "c.b": 0}
+        assert counter.value == 0
+
+    def test_direct_stat_reset_marks_dirty(self):
+        group = StatGroup("c")
+        counter = group.scalar("a")
+        counter.inc(5)
+        group.flatten()
+        counter.reset()
+        assert dict(group.flatten())["c.a"] == 0
+
+    def test_standalone_stats_do_not_crash(self):
+        # Scalars/Histograms built outside a group mark a shared sink.
+        s = Scalar("x")
+        s.inc()
+        h = Histogram("y")
+        h.sample(1)
+        assert s.value == 1 and h.count == 1
+
+
 class TestCollectStats:
     def test_full_system_snapshot(self):
         result = run_gemm(SystemConfig.table2_baseline(), 64, 64, 64)

@@ -38,7 +38,12 @@ except ImportError:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import SystemConfig  # noqa: E402
-from repro.core.runner import GemmRunner, run_gemm  # noqa: E402
+from repro.core.runner import (  # noqa: E402
+    GemmRunner,
+    run_gemm,
+    run_multi_gemm,
+    run_peer_transfer,
+)
 from repro.sim.eventq import Simulator  # noqa: E402
 from repro.sweep import build_sweep, run_sweep  # noqa: E402
 
@@ -183,6 +188,39 @@ def bench_gemm_point(size: int) -> float:
     return _best_of(run)[0]
 
 
+def bench_multigemm_point(size: int, devices: int = 2) -> float:
+    """One warm multi-device contention point on the switched fabric.
+
+    Exercises the topology subsystem's hot paths: per-endpoint DMA entry
+    ports, round-robin arbitration on the shared links, and the
+    cluster-wide snapshot.
+    """
+    config = SystemConfig.pcie_2gb(num_accelerators=devices)
+    run_multi_gemm(config, size, size, size)  # warm the system memo
+
+    def run():
+        t0 = time.perf_counter()
+        run_multi_gemm(config, size, size, size)
+        t1 = time.perf_counter()
+        return t1 - t0, t1 - t0
+
+    return _best_of(run)[0]
+
+
+def bench_p2p_transfer(size_bytes: int) -> float:
+    """One warm peer-to-peer DMA point (endpoint -> switch -> endpoint)."""
+    config = SystemConfig.pcie_2gb(num_accelerators=2)
+    run_peer_transfer(config, size_bytes, mode="p2p")  # warm the memo
+
+    def run():
+        t0 = time.perf_counter()
+        run_peer_transfer(config, size_bytes, mode="p2p")
+        t1 = time.perf_counter()
+        return t1 - t0, t1 - t0
+
+    return _best_of(run)[0]
+
+
 def bench_snapshot(size: int, iterations: int) -> float:
     """Stat snapshot cost in microseconds, one component touched.
 
@@ -236,6 +274,12 @@ def collect_metrics(quick: bool) -> dict:
     metrics["event_cancel_eps"] = round(bench_event_cancel(events), 1)
     metrics["idle_loop_eps"] = round(bench_idle_loop(events), 1)
     metrics["gemm_point_s"] = round(bench_gemm_point(gemm_size), 4)
+    metrics["multigemm_point_s"] = round(
+        bench_multigemm_point(gemm_size), 4
+    )
+    metrics["p2p_transfer_s"] = round(
+        bench_p2p_transfer(128 * 1024 if quick else 512 * 1024), 4
+    )
     metrics["snapshot_us"] = round(bench_snapshot(gemm_size, snap_iters), 2)
     metrics["fig6_grid_s"] = round(bench_fig6_grid(grid_size), 3)
     return metrics

@@ -23,6 +23,8 @@ from repro.core import (
     AccessMode,
     AcceSysSystem,
     GemmResult,
+    MultiGemmResult,
+    PeerTransferResult,
     RooflinePoint,
     SystemConfig,
     TradeoffModel,
@@ -35,6 +37,8 @@ from repro.core import (
     relative_time_curve,
     roofline_sweep,
     run_gemm,
+    run_multi_gemm,
+    run_peer_transfer,
     run_vit,
 )
 from repro.workloads import VIT_VARIANTS, ViTConfig, build_vit_graph
@@ -47,8 +51,12 @@ __all__ = [
     "AcceSysSystem",
     "run_gemm",
     "run_vit",
+    "run_multi_gemm",
+    "run_peer_transfer",
     "GemmResult",
     "ViTResult",
+    "MultiGemmResult",
+    "PeerTransferResult",
     "roofline_sweep",
     "find_crossover",
     "RooflinePoint",

@@ -40,7 +40,12 @@ from repro import (
     run_gemm,
     run_vit,
 )
-from repro.core.runner import GemmResult, ViTResult
+from repro.core.runner import (
+    GemmResult,
+    MultiGemmResult,
+    PeerTransferResult,
+    ViTResult,
+)
 from repro.sweep import (
     SWEEPS,
     ResultCache,
@@ -133,7 +138,7 @@ def cmd_vit(args) -> int:
 # ----------------------------------------------------------------------
 # sweep
 # ----------------------------------------------------------------------
-def _list_sweeps() -> int:
+def _list_sweeps(as_json: bool = False) -> int:
     rows = []
     for name in sorted(SWEEPS):
         factory = SWEEPS[name]
@@ -142,6 +147,22 @@ def _list_sweeps() -> int:
         spec = factory()
         rows.append((name, spec.runner if isinstance(spec.runner, str)
                      else "custom", len(spec), summary))
+    if as_json:
+        import json
+
+        print(json.dumps(
+            [
+                {
+                    "name": name,
+                    "runner": runner,
+                    "points": points,
+                    "description": summary,
+                }
+                for name, runner, points, summary in rows
+            ],
+            indent=1,
+        ))
+        return 0
     print(format_table(
         ["experiment", "runner", "points", "description"], rows,
         title="registered sweeps (python -m repro sweep --name <experiment>)",
@@ -176,6 +197,13 @@ def _factory_kwargs(name: str, args) -> dict:
     return kwargs
 
 
+def _ticks_us(ticks: int) -> float:
+    """Ticks to microseconds through the canonical time base."""
+    from repro.sim.ticks import ticks_to_seconds
+
+    return ticks_to_seconds(ticks) * 1e6
+
+
 def _result_rows(report):
     """Generic per-point table for any runner's result type."""
     results = report.results()
@@ -184,6 +212,35 @@ def _result_rows(report):
         header = ["point", "exec us", "traffic MB"]
         rows = [
             (key, f"{r.seconds * 1e6:.1f}", f"{r.traffic_bytes / 1e6:.2f}")
+            for key, r in results.items()
+        ]
+    elif isinstance(sample, MultiGemmResult):
+        header = ["point", "devices", "exec us", "dev spread us",
+                  "agg GB/s", "uplink util"]
+        rows = [
+            (
+                key,
+                f"{r.active_devices}/{r.num_devices}",
+                f"{r.seconds * 1e6:.1f}",
+                # Fastest-to-slowest device gap: arbitration fairness.
+                (f"{_ticks_us(max(r.device_ticks) - min(r.device_ticks)):.1f}"
+                 if r.device_ticks else "-"),
+                f"{r.aggregate_bytes_per_sec / 1e9:.2f}",
+                f"{100 * r.uplink_busy_frac:.1f}%",
+            )
+            for key, r in results.items()
+        ]
+    elif isinstance(sample, PeerTransferResult):
+        header = ["point", "mode", "KiB", "exec us", "GB/s", "RC bytes"]
+        rows = [
+            (
+                key,
+                r.mode,
+                f"{r.size_bytes / 1024:.0f}",
+                f"{r.seconds * 1e6:.1f}",
+                f"{r.bytes_per_sec / 1e9:.2f}",
+                r.root_complex_bytes,
+            )
             for key, r in results.items()
         ]
     elif isinstance(sample, ViTResult):
@@ -236,7 +293,9 @@ def _progress_printer():
 
 def cmd_sweep(args) -> int:
     if args.list:
-        return _list_sweeps()
+        return _list_sweeps(as_json=args.json)
+    if args.json:
+        print("note: --json applies to --list only", file=sys.stderr)
 
     try:
         shard = parse_shard(args.shard) if args.shard else None
@@ -359,6 +418,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--list", action="store_true",
                          help="list registered experiments and exit")
+    p_sweep.add_argument("--json", action="store_true",
+                         help="with --list: machine-readable registry "
+                              "dump (name/runner/points/description)")
     p_sweep.add_argument("--name", action="append", default=None,
                          help="registered experiment to run "
                               "(see --list; covers every paper figure); "

@@ -22,10 +22,16 @@ from repro.core.system import AcceSysSystem
 from repro.core.runner import (
     GemmResult,
     GemmRunner,
+    MultiGemmResult,
+    MultiGemmRunner,
+    PeerTransferResult,
+    PeerTransferRunner,
     ViTResult,
     ViTRunner,
     WorkloadRunner,
     run_gemm,
+    run_multi_gemm,
+    run_peer_transfer,
     run_vit,
     system_for,
 )

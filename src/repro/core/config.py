@@ -36,6 +36,7 @@ from repro.memory.dram.devices import DDR3_1600, DDR4_2400, HBM2
 from repro.memory.dram.timings import DRAMTimings
 from repro.sim.ticks import ns
 from repro.smmu.smmu import SMMUConfig
+from repro.topology.description import TopologyDesc, flat_topology
 
 GB = 10**9
 GiB = 1 << 30
@@ -96,6 +97,12 @@ class SystemConfig:
     #: Interconnect family: "pcie" (root complex + switch) or "cxl"
     #: (directly-attached flit-based port; see repro.interconnect.cxl).
     interconnect: str = "pcie"
+    #: Interconnect tree (see repro.topology).  ``None`` with one
+    #: accelerator keeps the classic point-to-point fabric (bit-identical
+    #: to the flat model); ``None`` with a cluster compiles the default
+    #: flat switch (every endpoint behind one shared upstream link).  An
+    #: explicit description must have ``num_accelerators`` endpoints.
+    topology: Optional[TopologyDesc] = None
 
     # ------------------------------------------------------------------
     # Derived
@@ -218,6 +225,26 @@ class SystemConfig:
                 self.pcie, lanes=lanes, lane_gbps=lane_gbps, encoding=encoding
             )
         )
+
+    def with_topology(self, topology: TopologyDesc) -> "SystemConfig":
+        """Copy with an explicit interconnect tree.
+
+        ``num_accelerators`` is synced to the topology's endpoint count,
+        so ``base.with_topology(balanced_tree(8))`` is a complete
+        8-device system description.
+        """
+        return self.with_(
+            topology=topology, num_accelerators=topology.num_endpoints
+        )
+
+    def effective_topology(self) -> Optional[TopologyDesc]:
+        """The tree the system will compile, or ``None`` for the classic
+        point-to-point fabric (single device, no explicit topology)."""
+        if self.topology is not None:
+            return self.topology
+        if self.num_accelerators > 1 and self.interconnect == "pcie":
+            return flat_topology(self.num_accelerators)
+        return None
 
     def with_packet_size(self, packet_size: int) -> "SystemConfig":
         """Copy with a different request packet size (Fig. 4 sweeps)."""

@@ -73,6 +73,60 @@ class GemmResult:
 
 
 @dataclass
+class MultiGemmResult:
+    """Outcome of concurrent GEMMs across an accelerator cluster."""
+
+    config_name: str
+    m: int
+    k: int
+    n: int
+    num_devices: int
+    #: Number of devices that actually launched work (contention knob).
+    active_devices: int
+    #: Completion tick per active device (launch order).
+    device_ticks: list = field(default_factory=list)
+    ticks: int = 0
+    total_traffic_bytes: int = 0
+    #: Busy fraction of the shared root-complex link pair (the max of the
+    #: two directions) -- the endpoint-scaling saturation indicator.
+    uplink_busy_frac: float = 0.0
+    component_stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return ticks_to_seconds(self.ticks)
+
+    @property
+    def aggregate_bytes_per_sec(self) -> float:
+        """Cluster-wide sustained operand bandwidth over the run."""
+        if self.ticks == 0:
+            return 0.0
+        return self.total_traffic_bytes / ticks_to_seconds(self.ticks)
+
+
+@dataclass
+class PeerTransferResult:
+    """Outcome of one device-to-device transfer (P2P or host bounce)."""
+
+    config_name: str
+    mode: str
+    size_bytes: int
+    ticks: int
+    #: Payload bytes that crossed the root-complex links (0 for pure P2P).
+    root_complex_bytes: int = 0
+
+    @property
+    def seconds(self) -> float:
+        return ticks_to_seconds(self.ticks)
+
+    @property
+    def bytes_per_sec(self) -> float:
+        if self.ticks == 0:
+            return 0.0
+        return self.size_bytes / ticks_to_seconds(self.ticks)
+
+
+@dataclass
 class ViTResult:
     """Outcome of one ViT inference run."""
 
@@ -289,6 +343,200 @@ def _snapshot(system: AcceSysSystem) -> Dict[str, float]:
         for key, value in system.smmu.stats.flatten():
             out[key] = value
     return out
+
+
+# ----------------------------------------------------------------------
+# Multi-device runners (topology experiments)
+# ----------------------------------------------------------------------
+class MultiGemmRunner(WorkloadRunner):
+    """Concurrent C = A x B launches, one per cluster device.
+
+    Each active device pins its own operand buffers and receives its own
+    doorbell; the jobs then contend for whatever the topology shares --
+    the switch's upstream link, the root complex, the host memory
+    system.  ``devices`` limits how many of the cluster's accelerators
+    launch (the contention knob of the ``topo-contention`` sweep).
+    """
+
+    def drive(
+        self,
+        system: AcceSysSystem,
+        m: int,
+        k: int,
+        n: int,
+        devices: Optional[int] = None,
+        packet_size: Optional[int] = None,
+    ) -> MultiGemmResult:
+        config = system.config
+        total = len(system.drivers)
+        active = total if devices is None else devices
+        if not 1 <= active <= total:
+            raise ValueError(
+                f"devices={active} out of range 1..{total} "
+                f"(cluster has {total} accelerator(s))"
+            )
+        workload = GemmWorkload(m, k, n)
+        done: Dict[int, Dict[str, object]] = {}
+
+        for index in range(active):
+            driver = system.drivers[index]
+            a = system.alloc_buffer(f"{driver.name}.A", workload.a_bytes,
+                                    driver=driver)
+            b = system.alloc_buffer(f"{driver.name}.B", workload.b_bytes,
+                                    driver=driver)
+            c = system.alloc_buffer(f"{driver.name}.C", workload.c_bytes,
+                                    driver=driver)
+
+            def complete(job, stats, i=index) -> None:
+                done[i] = {"stats": stats, "at": system.now}
+
+            driver.launch_gemm(
+                m, k, n, a, b, c, complete,
+                packet_size=packet_size or config.packet_size,
+            )
+        system.run()
+        if len(done) != active:
+            raise RuntimeError(
+                f"only {len(done)}/{active} cluster jobs completed "
+                f"(deadlock in topology wiring?)"
+            )
+
+        device_ticks = [done[i]["at"] for i in range(active)]
+        ticks = max(device_ticks)
+        traffic = sum(
+            int(done[i]["stats"]["bytes_read"]
+                + done[i]["stats"]["bytes_written"])
+            for i in range(active)
+        )
+        return MultiGemmResult(
+            config_name=config.name,
+            m=m, k=k, n=n,
+            num_devices=total,
+            active_devices=active,
+            device_ticks=device_ticks,
+            ticks=ticks,
+            total_traffic_bytes=traffic,
+            # Busier direction of the shared root-complex pair; both the
+            # switched fabric's SwitchLink and the classic PCIeChannel
+            # expose the same saturation property.
+            uplink_busy_frac=max(
+                system.fabric.up.utilization_window,
+                system.fabric.down.utilization_window,
+            ),
+            component_stats=self.snapshot(system),
+        )
+
+    def snapshot(self, system: AcceSysSystem) -> Dict[str, float]:
+        out = _snapshot(system)
+        for wrapper in system.wrappers[1:]:
+            for component in (wrapper.systolic, wrapper.dma):
+                for key, value in component.stats.flatten():
+                    out[key] = value
+        return out
+
+
+def run_multi_gemm(
+    config: SystemConfig,
+    m: int,
+    k: int,
+    n: int,
+    devices: Optional[int] = None,
+    packet_size: Optional[int] = None,
+) -> MultiGemmResult:
+    """Run concurrent GEMMs across the configured accelerator cluster."""
+    return MultiGemmRunner().run(
+        config, m=m, k=k, n=n, devices=devices, packet_size=packet_size
+    )
+
+
+class PeerTransferRunner(WorkloadRunner):
+    """One device-to-device transfer, peer-to-peer or host-bounced.
+
+    ``mode="p2p"`` DMAs straight into the destination endpoint's scratch
+    aperture (BAR1): the switch routes it below the root complex.
+    ``mode="bounce"`` is the software path P2P replaces: the source
+    device writes a pinned host buffer, then the destination device
+    reads it back -- two full root-complex crossings plus host memory.
+    """
+
+    MODES = ("p2p", "bounce")
+
+    def drive(
+        self,
+        system: AcceSysSystem,
+        size_bytes: int,
+        mode: str = "p2p",
+    ) -> PeerTransferResult:
+        from repro.dma import DMADescriptor, DMADirection
+
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        if len(system.wrappers) < 2:
+            raise ValueError(
+                "peer transfer needs a cluster of at least two accelerators "
+                "(num_accelerators >= 2)"
+            )
+        done: Dict[str, int] = {}
+        if mode == "p2p":
+            if not system.endpoint_scratch:
+                raise ValueError(
+                    "p2p mode needs a switched PCIe topology (the classic "
+                    "point-to-point fabric has no peer windows)"
+                )
+            window = system.endpoint_scratch[1].range
+            if size_bytes > window.size:
+                raise ValueError(
+                    f"transfer of {size_bytes} bytes exceeds the destination "
+                    f"scratch window ({window.size} bytes; sized by "
+                    f"local_buffer_bytes)"
+                )
+            descriptor = DMADescriptor(
+                addr=window.start, size=size_bytes,
+                direction=DMADirection.DEVICE_TO_HOST, stream="P",
+            )
+            system.wrappers[0].dma.submit(
+                descriptor, lambda _d: done.setdefault("at", system.now)
+            )
+        else:
+            buffer_addr = system.drivers[0].pin_buffer(
+                "peer.bounce", size_bytes
+            )
+
+            def read_back(_descriptor) -> None:
+                fetch = DMADescriptor(
+                    addr=buffer_addr, size=size_bytes,
+                    direction=DMADirection.HOST_TO_DEVICE, stream="P",
+                )
+                system.wrappers[1].dma.submit(
+                    fetch, lambda _d: done.setdefault("at", system.now)
+                )
+
+            push = DMADescriptor(
+                addr=buffer_addr, size=size_bytes,
+                direction=DMADirection.DEVICE_TO_HOST, stream="P",
+            )
+            system.wrappers[0].dma.submit(push, read_back)
+        system.run()
+        if "at" not in done:
+            raise RuntimeError(f"{mode} transfer never completed")
+        rc_bytes = int(
+            system.fabric.up.stats["payload_bytes"].value
+            + system.fabric.down.stats["payload_bytes"].value
+        )
+        return PeerTransferResult(
+            config_name=system.config.name,
+            mode=mode,
+            size_bytes=size_bytes,
+            ticks=done["at"],
+            root_complex_bytes=rc_bytes,
+        )
+
+
+def run_peer_transfer(
+    config: SystemConfig, size_bytes: int, mode: str = "p2p"
+) -> PeerTransferResult:
+    """Time one device-to-device transfer under ``config``."""
+    return PeerTransferRunner().run(config, size_bytes=size_bytes, mode=mode)
 
 
 # ----------------------------------------------------------------------

@@ -39,11 +39,13 @@ from repro.interconnect.pcie.fabric import PCIeFabric
 from repro.memory.addr_range import AddrRange
 from repro.memory.dram.controller import DRAMController
 from repro.memory.physmem import PhysicalMemory
+from repro.memory.simple import SimpleMemory
 from repro.sim.eventq import Simulator
 from repro.sim.ports import CompletionFn, TargetPort
 from repro.sim.transaction import Transaction
 from repro.smmu.page_table import PageTable
 from repro.smmu.smmu import SMMU
+from repro.topology.fabric import SwitchedPCIeFabric
 
 #: Page-table arena at the top of host DRAM.
 PAGE_TABLE_RESERVE = 64 * 1024 * 1024
@@ -207,17 +209,37 @@ class AcceSysSystem:
         # ------------------------------------------------------------
         # Interconnect fabric and host bridge
         # ------------------------------------------------------------
+        topology = config.effective_topology()
         if config.interconnect == "cxl":
             from repro.interconnect.cxl import CXLFabric
 
+            if config.topology is not None:
+                raise ValueError(
+                    "switched topologies are a PCIe feature; the CXL "
+                    "extension models a directly-attached port"
+                )
             self.fabric = CXLFabric(sim, "system.cxl", config.pcie)
         elif config.interconnect == "pcie":
-            self.fabric = PCIeFabric(sim, "system.pcie", config.pcie)
+            if topology is None:
+                # Single endpoint, no explicit tree: the classic
+                # point-to-point fabric (bit-identical to the flat model).
+                self.fabric = PCIeFabric(sim, "system.pcie", config.pcie)
+            else:
+                if topology.num_endpoints != config.num_accelerators:
+                    raise ValueError(
+                        f"topology has {topology.num_endpoints} endpoint(s) "
+                        f"but num_accelerators={config.num_accelerators}; "
+                        f"use with_topology() to keep them in sync"
+                    )
+                self.fabric = SwitchedPCIeFabric(
+                    sim, "system.pcie", config.pcie, topology
+                )
         else:
             raise ValueError(
                 f"unknown interconnect {config.interconnect!r}; "
                 "choose 'pcie' or 'cxl'"
             )
+        self.topology = topology
         if config.access_mode is AccessMode.DEVICE_MEMORY:
             # GEMM traffic never crosses PCIe; host accesses to device
             # memory still do.  The host bridge handles stray host-memory
@@ -264,13 +286,18 @@ class AcceSysSystem:
         # ------------------------------------------------------------
         if config.num_accelerators < 1:
             raise ValueError("need at least one accelerator")
+        switched = isinstance(self.fabric, SwitchedPCIeFabric)
         if config.uses_device_memory:
             dma_target: TargetPort = self.devmem
-        else:
+        elif not switched:
             dma_target = _DevicePCIePort(sim, "system.accel.pcie_port", self.fabric)
         self.wrappers = []
         for index in range(config.num_accelerators):
             suffix = "" if config.num_accelerators == 1 else str(index)
+            if switched and not config.uses_device_memory:
+                # Each endpoint owns its entry port, so the fabric can
+                # route (and arbitrate) per device.
+                dma_target = self.fabric.endpoint_port(index)
             self.wrappers.append(
                 AcceleratorWrapper(
                     sim,
@@ -295,6 +322,35 @@ class AcceSysSystem:
         for wrapper in self.wrappers:
             self.config_space.register(wrapper.pcie_function)
         self.config_space.enumerate()
+
+        # Endpoint address windows (switched fabric only): BAR0 routes to
+        # the register file, BAR1 to a device-local scratch aperture --
+        # the landing zone for peer-to-peer DMA.  The routing table is
+        # what lets the fabric steer host MMIO per endpoint and peer
+        # traffic below the root complex.
+        self.endpoint_scratch: list = []
+        self._scratch_backings: list = []
+        if switched:
+            simple_latency, simple_bw = config.devmem_simple
+            for index, wrapper in enumerate(self.wrappers):
+                suffix = "" if config.num_accelerators == 1 else str(index)
+                bar0 = wrapper.pcie_function.bars[0].range
+                bar1 = wrapper.pcie_function.bars[1].range
+                backing = PhysicalMemory(bar1) if config.functional else None
+                scratch = SimpleMemory(
+                    sim, f"system.accel{suffix}.scratch", bar1,
+                    simple_latency, simple_bw, backing,
+                )
+                self.endpoint_scratch.append(scratch)
+                self._scratch_backings.append(backing)
+                self.fabric.register_endpoint_window(index, bar0, wrapper.regs)
+                self.fabric.register_endpoint_window(index, bar1, scratch)
+            if needs_devmem:
+                # Device memory hangs off endpoint 0: host accesses to the
+                # devmem aperture route down that endpoint's wires.
+                self.fabric.register_endpoint_window(
+                    0, self.devmem_range, self.devmem
+                )
         self.host_alloc = BumpAllocator(self.alloc_range)
         self.devmem_alloc = BumpAllocator(self.devmem_range)
         self.drivers = []
@@ -335,15 +391,17 @@ class AcceSysSystem:
     # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
-    def alloc_buffer(self, tag: str, size: int) -> int:
+    def alloc_buffer(self, tag: str, size: int, driver=None) -> int:
         """Allocate a data buffer in the mode's natural memory.
 
         Host modes pin through the driver (SMMU mapping included); DevMem
-        mode allocates device memory directly.
+        mode allocates device memory directly.  ``driver`` selects which
+        cluster member pins (IOVA space, buffer table); default is the
+        first device.
         """
         if self.config.uses_device_memory:
             return self.devmem_alloc.alloc(size)
-        return self.driver.pin_buffer(tag, size)
+        return (driver or self.driver).pin_buffer(tag, size)
 
     def reset(self) -> None:
         """Restore the fully wired system to its just-constructed state.
@@ -369,6 +427,9 @@ class AcceSysSystem:
             self.host_backing.clear()
         if self.devmem_backing is not None:
             self.devmem_backing.clear()
+        for backing in self._scratch_backings:
+            if backing is not None:
+                backing.clear()
 
     def run(self, **kw) -> int:
         """Drain the event queue; returns the final tick."""

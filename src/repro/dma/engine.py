@@ -34,11 +34,15 @@ class _Work:
     path pops the right queue directly instead of scanning every channel
     for the entry.  ``size`` and ``is_read`` cache descriptor fields the
     per-segment loop would otherwise re-derive through attribute (and
-    property) lookups.
+    property) lookups.  ``template`` is a per-descriptor transaction
+    carrying the fields every segment shares (command, source, stream,
+    packet size); segments are stamped out of it with
+    :meth:`~repro.sim.transaction.Transaction.clone_for_segment`, which
+    skips constructor validation on the engine's hottest path.
     """
 
     __slots__ = (
-        "descriptor", "channel", "size", "is_read",
+        "descriptor", "channel", "size", "is_read", "template",
         "next_offset", "outstanding", "on_complete",
     )
 
@@ -47,11 +51,19 @@ class _Work:
         descriptor: DMADescriptor,
         channel: int,
         on_complete: Optional[DescriptorDoneFn],
+        source: str,
     ) -> None:
         self.descriptor = descriptor
         self.channel = channel
         self.size = descriptor.size
         self.is_read = descriptor.is_read
+        template = Transaction(
+            MemCmd.READ if self.is_read else MemCmd.WRITE,
+            descriptor.addr, descriptor.size, source=source,
+        )
+        template.stream = descriptor.stream
+        template.packet_size = descriptor.packet_size
+        self.template = template
         self.next_offset = 0
         self.outstanding = 0
         self.on_complete = on_complete
@@ -130,7 +142,7 @@ class DMAEngine(SimObject):
                 f"channel {channel} out of range 0..{self.num_channels - 1}"
             )
         self._channels[channel].queue.append(
-            _Work(descriptor, channel, on_complete)
+            _Work(descriptor, channel, on_complete, self.name)
         )
         self._pump()
 
@@ -195,11 +207,9 @@ class DMAEngine(SimObject):
         work.outstanding += 1
 
         is_read = work.is_read
-        cmd = MemCmd.READ if is_read else MemCmd.WRITE
-        txn = Transaction(cmd, descriptor.addr + offset, size, source=self.name)
-        txn.stream = descriptor.stream
-        txn.packet_size = descriptor.packet_size
-        txn.issue_tick = self.sim.now
+        txn = work.template.clone_for_segment(
+            descriptor.addr + offset, size, self.sim.now
+        )
         self._tags_in_use += 1
         # Batched stat update (equivalent to inc() per counter).
         self._segments.value += 1

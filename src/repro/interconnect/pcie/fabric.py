@@ -28,6 +28,26 @@ from repro.sim.simobject import SimObject
 from repro.sim.transaction import Transaction
 
 
+def require_host_target(name: str, target: Optional[TargetPort]) -> TargetPort:
+    """The wired host target of a fabric, or a diagnosable wiring error.
+
+    Shared by every fabric flavour (flat, CXL, switched topology) so the
+    wiring hint stays in one place.  Resolving *before* the channel delay
+    is scheduled (and binding the result in completion closures) turns
+    what used to be an ``AttributeError`` deep in the event loop -- a
+    transaction arriving at a fabric whose target was never wired -- into
+    an immediate error naming the component and the fix.
+    """
+    if target is None:
+        raise RuntimeError(
+            f"{name}: host_target is not wired -- a transaction reached "
+            f"the fabric before set_host_target() was called; wire the "
+            f"host bridge (AcceSysSystem does this right after fabric "
+            f"construction) before submitting traffic"
+        )
+    return target
+
+
 class PCIeFabric(SimObject):
     """The device's window onto host memory and the host's onto the device.
 
@@ -62,17 +82,19 @@ class PCIeFabric(SimObject):
     def set_host_target(self, target: TargetPort) -> None:
         self.host_target = target
 
+    def _resolved_host_target(self) -> TargetPort:
+        return require_host_target(self.name, self.host_target)
+
     # ------------------------------------------------------------------
     # Device-initiated DMA
     # ------------------------------------------------------------------
     def device_read(self, txn: Transaction, on_complete: CompletionFn) -> None:
         """DMA read from host memory (request up, data down)."""
-        if self.host_target is None:
-            raise RuntimeError(f"{self.name}: host target not connected")
+        host = self._resolved_host_target()
         self._dev_reads.inc()
 
         def request_arrived(_txn: Transaction) -> None:
-            self.host_target.send(txn, host_done)
+            host.send(txn, host_done)
 
         def host_done(_txn: Transaction) -> None:
             self.down.deliver(txn, txn.size, on_complete)
@@ -86,12 +108,11 @@ class PCIeFabric(SimObject):
 
     def device_write(self, txn: Transaction, on_complete: CompletionFn) -> None:
         """Posted DMA write to host memory (payload up, no completion TLP)."""
-        if self.host_target is None:
-            raise RuntimeError(f"{self.name}: host target not connected")
+        host = self._resolved_host_target()
         self._dev_writes.inc()
 
         def payload_arrived(_txn: Transaction) -> None:
-            self.host_target.send(txn, on_complete)
+            host.send(txn, on_complete)
 
         self.up.deliver(txn, txn.size, payload_arrived)
 

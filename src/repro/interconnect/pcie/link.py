@@ -108,6 +108,47 @@ class PCIeConfig:
         )
 
 
+def tlp_params_for(config: PCIeConfig, txn: Transaction) -> TLPParams:
+    """Packetization for one transaction (honours ``txn.packet_size``)."""
+    if (
+        txn.packet_size is not None
+        and txn.packet_size != config.tlp.max_payload
+    ):
+        return TLPParams(
+            max_payload=txn.packet_size,
+            header_bytes=config.tlp.header_bytes,
+        )
+    return config.tlp
+
+
+def train_timing(
+    config: PCIeConfig, tlp: TLPParams, payload_bytes: int, force_tlps: int
+) -> Tuple[int, int, int, int]:
+    """Shared TLP-train arithmetic for every channel/link model.
+
+    Returns ``(n_tlps, wire_bytes, serialize_ticks, tlp_fill_ticks)``:
+    the TLP count (``force_tlps`` overrides header-only trains), the
+    on-wire byte total, the serialization time *including* the
+    store-and-forward credit stall for TLPs larger than half a hop
+    buffer, and one (largest) TLP's wire time -- the per-hop
+    store-and-forward fill.  The flat :class:`PCIeChannel` and the
+    topology fabric's ``SwitchLink`` both build their timing from this
+    single definition, so the degenerate-case bit-identity cannot drift.
+    """
+    bandwidth = config.effective_bytes_per_sec
+    n_tlps = max(tlp.num_tlps(payload_bytes), force_tlps)
+    wire_bytes = max(0, payload_bytes) + n_tlps * tlp.header_bytes
+    serialize = serialization_ticks(wire_bytes, bandwidth)
+    per_tlp_payload = min(max(payload_bytes, 0), tlp.max_payload)
+    buffer_bytes = config.hop_buffer_bytes
+    if 2 * per_tlp_payload > buffer_bytes:
+        serialize = serialize * 2 * per_tlp_payload // buffer_bytes
+    tlp_fill = serialization_ticks(
+        tlp.tlp_wire_bytes(payload_bytes), bandwidth
+    )
+    return n_tlps, wire_bytes, serialize, tlp_fill
+
+
 class PCIeChannel(SimObject):
     """One direction of the PCIe hierarchy (a train of hops).
 
@@ -168,23 +209,13 @@ class PCIeChannel(SimObject):
         for header-only trains: a read of N bytes issues one request TLP
         per packet-size chunk, not a single request.
         """
-        tlp = self._tlp_params(txn)
-        bandwidth = self.config.effective_bytes_per_sec
-        n_tlps = max(tlp.num_tlps(payload_bytes), force_tlps)
-        wire_bytes = max(0, payload_bytes) + n_tlps * tlp.header_bytes
-        tlp_wire_ticks = serialization_ticks(
-            tlp.tlp_wire_bytes(payload_bytes), bandwidth
+        tlp = tlp_params_for(self.config, txn)
+        n_tlps, wire_bytes, serialize, tlp_wire_ticks = train_timing(
+            self.config, tlp, payload_bytes, force_tlps
         )
-
-        # Wire occupancy: serialization, or the packet-rate bound of the
-        # slowest hop if it is slower than the wire.  TLPs bigger than half
-        # a hop's receive buffer serialize store-and-forward alternation
-        # into the steady state (credit stall), inflating occupancy.
-        serialize = serialization_ticks(wire_bytes, bandwidth)
-        per_tlp_payload = min(max(payload_bytes, 0), tlp.max_payload)
-        buffer_bytes = self.config.hop_buffer_bytes
-        if 2 * per_tlp_payload > buffer_bytes:
-            serialize = serialize * 2 * per_tlp_payload // buffer_bytes
+        # Wire occupancy: serialization (with the oversized-TLP credit
+        # stall folded in by train_timing), or the packet-rate bound of
+        # the slowest hop if that is slower than the wire.
         occupancy = max(serialize, n_tlps * self._max_occupancy)
 
         start = max(self.now, self._wire_free_at)
@@ -203,15 +234,6 @@ class PCIeChannel(SimObject):
         self._wire_byte_stat.inc(wire_bytes)
         self._busy_ticks.inc(occupancy)
         self.schedule_at(arrival, lambda: on_arrive(txn))
-
-    def _tlp_params(self, txn: Transaction) -> TLPParams:
-        """Packetization for this transaction (honours txn.packet_size)."""
-        if txn.packet_size is not None and txn.packet_size != self.config.tlp.max_payload:
-            return TLPParams(
-                max_payload=txn.packet_size,
-                header_bytes=self.config.tlp.header_bytes,
-            )
-        return self.config.tlp
 
     @property
     def backlog_ticks(self) -> int:

@@ -106,6 +106,13 @@ class DRAMController(TargetPort):
         self._channels = [
             _Channel(self._num_banks, self._t_refi) for _ in range(t.channels)
         ]
+        #: Striping memo: (offset % (interleave * channels), size) ->
+        #: relative channel pieces.  DMA traffic repeats a handful of
+        #: aligned segment shapes, so the division-heavy split loop runs
+        #: once per shape instead of once per transaction (the striping
+        #: arithmetic is a pure function of the phase and size).
+        self._split_memo: dict = {}
+        self._split_period = self._interleave * t.channels
 
         self._reads = self.stats.scalar("reads", "read transactions")
         self._writes = self.stats.scalar("writes", "write transactions")
@@ -152,10 +159,9 @@ class DRAMController(TargetPort):
             finish = self._access_channel(0, offset, size, arrive)
         else:
             access = self._access_channel
-            for ch_idx, local_addr, local_size in self._split_channels(
-                offset, size
-            ):
-                done = access(ch_idx, local_addr, local_size, arrive)
+            pieces, shift = self._split_rebased(offset, size)
+            for ch_idx, local_addr, local_size in pieces:
+                done = access(ch_idx, local_addr + shift, local_size, arrive)
                 if done > finish:
                     finish = done
 
@@ -176,14 +182,43 @@ class DRAMController(TargetPort):
         count, which preserves the stride/locality structure that the bank
         and row mapping depend on.  Byte counts are exact: partial head and
         tail blocks are charged only for the bytes actually touched.
+
+        The split depends on the offset only through its phase within one
+        interleave period (``interleave * channels`` bytes): shifting the
+        offset by a whole period shifts every channel-local address by one
+        interleave block and changes nothing else.  ``_split_pieces``
+        memoizes the per-phase result; ``_split_rebased`` computes the
+        phase and shift (``send`` consumes that form directly so the hot
+        loop skips this wrapper's list rebuild).
         """
+        pieces, shift = self._split_rebased(offset, size)
+        return [
+            (ch, local_addr + shift, nbytes)
+            for ch, local_addr, nbytes in pieces
+        ]
+
+    def _split_rebased(self, offset: int, size: int):
+        """(memoized relative pieces, channel-local shift) for ``offset``."""
+        period = self._split_period
+        base = offset // period
+        return (
+            self._split_pieces(offset - base * period, size),
+            base * self._interleave,
+        )
+
+    def _split_pieces(self, phase: int, size: int) -> List[tuple[int, int, int]]:
+        """Memoized striping for one (phase, size) shape (see above)."""
+        key = (phase, size)
+        pieces = self._split_memo.get(key)
+        if pieces is not None:
+            return pieces
         gran = self._interleave
         num_ch = len(self._channels)
-        pieces: List[tuple[int, int, int]] = []
-        first_block = offset // gran
-        last_block = (offset + size - 1) // gran
-        head_missing = offset - first_block * gran
-        tail_missing = (last_block + 1) * gran - (offset + size)
+        pieces = []
+        first_block = phase // gran
+        last_block = (phase + size - 1) // gran
+        head_missing = phase - first_block * gran
+        tail_missing = (last_block + 1) * gran - (phase + size)
         for ch in range(num_ch):
             first_for_ch = first_block + (ch - first_block) % num_ch
             if first_for_ch > last_block:
@@ -198,6 +233,10 @@ class DRAMController(TargetPort):
             if last_for_ch == last_block:
                 nbytes -= tail_missing
             pieces.append((ch, local_addr, nbytes))
+        if len(self._split_memo) < 4096:
+            # Real workloads cycle through a handful of aligned shapes;
+            # the cap only guards pathological random-offset streams.
+            self._split_memo[key] = pieces
         return pieces
 
     # ------------------------------------------------------------------

@@ -138,6 +138,36 @@ class Transaction:
     ) -> "Transaction":
         return cls(MemCmd.WRITE, addr, size, data, source=source)
 
+    def clone_for_segment(
+        self, addr: int, size: int, issue_tick: int
+    ) -> "Transaction":
+        """A fresh transaction for one segment of a larger transfer.
+
+        Copies the routing-relevant fields (command, source, stream,
+        packet size) from ``self`` -- the *template* the DMA engine
+        builds once per descriptor -- and skips ``__init__`` validation:
+        segment addresses and sizes are derived from an already-validated
+        descriptor, so re-checking them per segment is pure overhead on
+        the engine's hottest path.  Everything else starts pristine,
+        exactly as a fresh construction would leave it.
+        """
+        txn = Transaction.__new__(Transaction)
+        txn.id = next(_txn_ids)
+        txn.cmd = self.cmd
+        txn.addr = addr
+        txn.size = size
+        txn.data = None
+        txn.source = self.source
+        txn.vaddr = None
+        txn.paddr = None
+        txn.issue_tick = issue_tick
+        txn.complete_tick = None
+        txn.packet_size = self.packet_size
+        txn.stream = self.stream
+        txn.is_translated = False
+        txn.for_ownership = False
+        return txn
+
     # ------------------------------------------------------------------
     # Granularity accounting
     # ------------------------------------------------------------------

@@ -24,6 +24,10 @@ Registered experiments:
 ``access-modes``     Section III-C: DC vs DM vs DevMem
 ``ext-cxl-gemm``     extension: streaming GEMM, CXL vs PCIe
 ``ext-cxl-vit``      extension: DevMem NUMA penalty under CXL
+``topo-endpoint-scaling`` extension: 1..8 accelerators on one switch
+``topo-contention``  extension: active devices behind a shared uplink
+``topo-p2p``         extension: P2P vs host-bounce device transfers
+``topo-switch-depth`` extension: switch-tier depth 1..3
 ==================== ==================================================
 """
 
@@ -43,6 +47,7 @@ from repro.sweep.spec import (
     gemm_points,
     register_sweep,
 )
+from repro.topology import tiered_topology
 from repro.workloads.vit import ViTConfig
 
 GB = 10**9
@@ -323,6 +328,109 @@ def access_modes_sweep(size: int = 128) -> SweepSpec:
         "DevMem": SystemConfig.devmem_system(),
     }
     return SweepSpec(name="access-modes", points=gemm_points(configs, size))
+
+
+# ----------------------------------------------------------------------
+# Topology extension (repro.topology; docs/TOPOLOGY.md)
+# ----------------------------------------------------------------------
+@register_sweep("topo-endpoint-scaling")
+def topo_endpoint_scaling_sweep(
+    size: int = 96, counts: Tuple[int, ...] = (1, 2, 4, 8)
+) -> SweepSpec:
+    """Endpoint scaling: N accelerators behind one shared switch uplink.
+
+    One point per cluster size; every device runs the same GEMM
+    concurrently.  The report's ``uplink util`` column is the busy
+    fraction of the shared root-complex link pair -- it climbs toward
+    1.0 as the cluster saturates the upstream link and per-device time
+    stops improving.  The topology is explicit even for one endpoint so
+    the whole curve runs on the switched-fabric timing model (the
+    implicit single-device default would compile the classic
+    point-to-point fabric and put a model discontinuity at N=1).
+    """
+    from repro.topology import flat_topology
+
+    points = [
+        SweepPoint(
+            key=count,
+            config=SystemConfig.pcie_2gb().with_topology(
+                flat_topology(count)
+            ),
+            params={"m": size, "k": size, "n": size},
+        )
+        for count in counts
+    ]
+    return SweepSpec(name="topo-endpoint-scaling", points=points,
+                     runner="multigemm")
+
+
+@register_sweep("topo-contention")
+def topo_contention_sweep(size: int = 96, cluster: int = 4) -> SweepSpec:
+    """Shared-link contention: 1..N active devices on a fixed cluster.
+
+    The topology (and therefore the simulated hardware) is constant; only
+    the number of concurrently launched GEMMs varies, isolating the
+    arbitration effect from any topology change.
+    """
+    base = SystemConfig.pcie_2gb(num_accelerators=cluster)
+    points = [
+        SweepPoint(
+            key=active,
+            config=base,
+            params={"m": size, "k": size, "n": size, "devices": active},
+        )
+        for active in range(1, cluster + 1)
+    ]
+    return SweepSpec(name="topo-contention", points=points,
+                     runner="multigemm")
+
+
+@register_sweep("topo-p2p")
+def topo_p2p_sweep(
+    sizes: Tuple[int, ...] = (64 * 1024, 256 * 1024, 512 * 1024)
+) -> SweepSpec:
+    """Peer-to-peer vs host-bounce device-to-device transfers.
+
+    ``p2p`` routes endpoint -> switch -> endpoint below the root
+    complex; ``bounce`` is the software alternative (write host memory,
+    read it back from the peer).  Transfer sizes are capped by the
+    destination scratch window (``local_buffer_bytes``).
+    """
+    config = SystemConfig.pcie_2gb(num_accelerators=2)
+    points = [
+        SweepPoint(
+            key=(mode, size),
+            config=config,
+            params={"size_bytes": size, "mode": mode},
+        )
+        for mode in ("p2p", "bounce")
+        for size in sizes
+    ]
+    return SweepSpec(name="topo-p2p", points=points, runner="peer")
+
+
+@register_sweep("topo-switch-depth")
+def topo_switch_depth_sweep(
+    size: int = 96, depths: Tuple[int, ...] = (1, 2, 3)
+) -> SweepSpec:
+    """Switch-tier depth: every tier adds a store-and-forward hop.
+
+    A two-device cluster runs concurrent GEMMs below 1..3 chained switch
+    tiers; execution time grows with depth (added latency and one more
+    shared segment per tier).
+    """
+    points = [
+        SweepPoint(
+            key=depth,
+            config=SystemConfig.pcie_2gb().with_topology(
+                tiered_topology(2, depth)
+            ),
+            params={"m": size, "k": size, "n": size},
+        )
+        for depth in depths
+    ]
+    return SweepSpec(name="topo-switch-depth", points=points,
+                     runner="multigemm")
 
 
 # ----------------------------------------------------------------------

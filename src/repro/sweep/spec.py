@@ -27,7 +27,16 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Union
 
 from repro.core.config import SystemConfig, canonical_value
-from repro.core.runner import GemmResult, ViTResult, run_gemm, run_vit
+from repro.core.runner import (
+    GemmResult,
+    MultiGemmResult,
+    PeerTransferResult,
+    ViTResult,
+    run_gemm,
+    run_multi_gemm,
+    run_peer_transfer,
+    run_vit,
+)
 
 
 @dataclass(frozen=True)
@@ -231,6 +240,77 @@ def _decode_vit(record: dict) -> ViTResult:
 
 
 register_runner("vit", _run_vit_point, _encode_vit, _decode_vit)
+
+
+# ----------------------------------------------------------------------
+# Built-in multi-device runners (topology experiments)
+# ----------------------------------------------------------------------
+def _run_multigemm_point(config: SystemConfig, **params) -> MultiGemmResult:
+    return run_multi_gemm(config, **params)
+
+
+def _encode_multigemm(result: MultiGemmResult) -> dict:
+    return {
+        "config_name": result.config_name,
+        "m": result.m,
+        "k": result.k,
+        "n": result.n,
+        "num_devices": result.num_devices,
+        "active_devices": result.active_devices,
+        "device_ticks": list(result.device_ticks),
+        "ticks": result.ticks,
+        "total_traffic_bytes": result.total_traffic_bytes,
+        "uplink_busy_frac": result.uplink_busy_frac,
+        "component_stats": dict(result.component_stats),
+    }
+
+
+def _decode_multigemm(record: dict) -> MultiGemmResult:
+    return MultiGemmResult(
+        config_name=record["config_name"],
+        m=record["m"],
+        k=record["k"],
+        n=record["n"],
+        num_devices=record["num_devices"],
+        active_devices=record["active_devices"],
+        device_ticks=list(record.get("device_ticks", [])),
+        ticks=record["ticks"],
+        total_traffic_bytes=record["total_traffic_bytes"],
+        uplink_busy_frac=record.get("uplink_busy_frac", 0.0),
+        component_stats=dict(record.get("component_stats", {})),
+    )
+
+
+register_runner(
+    "multigemm", _run_multigemm_point, _encode_multigemm, _decode_multigemm
+)
+
+
+def _run_peer_point(config: SystemConfig, **params) -> PeerTransferResult:
+    return run_peer_transfer(config, **params)
+
+
+def _encode_peer(result: PeerTransferResult) -> dict:
+    return {
+        "config_name": result.config_name,
+        "mode": result.mode,
+        "size_bytes": result.size_bytes,
+        "ticks": result.ticks,
+        "root_complex_bytes": result.root_complex_bytes,
+    }
+
+
+def _decode_peer(record: dict) -> PeerTransferResult:
+    return PeerTransferResult(
+        config_name=record["config_name"],
+        mode=record["mode"],
+        size_bytes=record["size_bytes"],
+        ticks=record["ticks"],
+        root_complex_bytes=record.get("root_complex_bytes", 0),
+    )
+
+
+register_runner("peer", _run_peer_point, _encode_peer, _decode_peer)
 
 
 # ----------------------------------------------------------------------

@@ -96,8 +96,47 @@ class TestCommands:
             "fig8-gemm-split", "fig9-tradeoff", "tab4-translation",
             "ablation-dataflow", "ablation-smmu", "access-modes",
             "ext-cxl-gemm", "ext-cxl-vit",
+            "topo-endpoint-scaling", "topo-contention", "topo-p2p",
+            "topo-switch-depth",
         ):
             assert name in out, f"{name} missing from sweep --list"
+
+    def test_sweep_list_json(self, capsys):
+        import json
+
+        assert main(["sweep", "--list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in entries}
+        assert by_name["topo-p2p"]["runner"] == "peer"
+        assert by_name["topo-endpoint-scaling"]["runner"] == "multigemm"
+        assert by_name["pcie-bandwidth"]["runner"] == "gemm"
+        for entry in entries:
+            assert set(entry) == {"name", "runner", "points", "description"}
+            assert entry["points"] > 0
+
+    def test_sweep_json_without_list_warns(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "--name", "access-modes", "--size", "16", "--json",
+             "--cache-dir", str(tmp_path)]
+        ) == 0
+        assert "--json applies to --list" in capsys.readouterr().err
+
+    def test_sweep_multigemm_runner_table(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "--name", "topo-endpoint-scaling", "--size", "48",
+             "--cache-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "uplink util" in out
+        assert "topo-endpoint-scaling" in out
+
+    def test_sweep_peer_runner_table(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "--name", "topo-p2p", "--cache-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bounce" in out
+        assert "RC bytes" in out
 
     def test_sweep_by_name(self, capsys, tmp_path):
         assert main(

@@ -212,6 +212,29 @@ class SystemConfig:
             "DevMem": cls.devmem_system(),
         }
 
+    @classmethod
+    def named_systems(cls) -> dict:
+        """Every named configuration: paper systems, the Table II
+        baseline, and the CXL presets.  One registry shared by the CLI
+        and the orchestrator, so a system name in a run manifest means
+        the same hardware on every machine."""
+        systems = cls.paper_systems()
+        systems["Table2"] = cls.table2_baseline()
+        systems["CXL-host"] = cls.cxl_host()
+        systems["DevMem-CXL"] = cls.devmem_cxl()
+        return systems
+
+    @classmethod
+    def by_name(cls, name: str) -> "SystemConfig":
+        """Case-insensitive lookup in :meth:`named_systems`."""
+        systems = cls.named_systems()
+        for key, config in systems.items():
+            if key.lower() == name.lower():
+                return config
+        raise KeyError(
+            f"unknown system {name!r}; choose from {sorted(systems)}"
+        )
+
     def with_pcie_bandwidth(
         self, lanes: int, lane_gbps: float, encoding: Tuple[int, int] = (128, 130)
     ) -> "SystemConfig":

@@ -31,6 +31,7 @@ from repro.sweep.engine import (
     SweepOutcome,
     SweepReport,
     iter_sweep,
+    merge_report_records,
     parse_shard,
     resolve_workers,
     run_sweep,
@@ -69,6 +70,7 @@ __all__ = [
     "resolve_workers",
     "parse_shard",
     "shard_points",
+    "merge_report_records",
     "gemm_points",
     "derive_seed",
     "ResultCache",

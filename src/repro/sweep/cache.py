@@ -9,7 +9,13 @@ a re-simulation; nothing is ever served stale.
 
 The cache directory defaults to ``$REPRO_SWEEP_CACHE_DIR`` or
 ``~/.cache/repro/sweeps``.  Writes go through a temp file + ``os.replace``
-so concurrent workers never observe a half-written entry.
+so concurrent workers never observe a half-written entry.  In-flight
+temp files carry a ``.part`` suffix (never ``.json``) so the maintenance
+surface -- ``entries``/``summarize``/``prune``/``clear``/``len`` -- can
+run concurrently with writers on a shared directory without ever
+observing, counting, or *deleting* a write in progress (deleting a temp
+file between its write and its rename would make the writer's
+``os.replace`` fail and silently drop the finished result).
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 import types
 from pathlib import Path
 from typing import Optional
@@ -122,8 +129,54 @@ def point_key(point: SweepPoint, runner, params: Optional[dict] = None) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+#: Suffix for in-flight write temp files.  Deliberately not ``.json``:
+#: ``Path.glob("*.json")`` matches dot-prefixed names too, so a shared
+#: suffix would expose half-written entries to every maintenance walk.
+TMP_SUFFIX = ".part"
+
+#: A temp file older than this is abandoned (its writer crashed between
+#: write and rename); younger ones may belong to a live writer and are
+#: never touched, even by :meth:`ResultCache.clear`.
+STALE_TMP_SECONDS = 3600.0
+
+
+def atomic_write_json(path: os.PathLike, payload, *,
+                      indent: Optional[int] = None,
+                      sort_keys: bool = True) -> None:
+    """Whole-file atomic JSON write: unique temp file + ``os.replace``.
+
+    The single writer-side primitive behind the cache, lease files, run
+    manifests and reports.  The temp name is unique per write
+    (``mkstemp``), so concurrent writers of the *same* path can never
+    steal each other's in-flight file -- the last atomic replace wins
+    and neither writer crashes.  On any failure the temp file is
+    unlinked, never left masquerading as progress.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=".tmp-", suffix=TMP_SUFFIX
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=indent, sort_keys=sort_keys)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 class ResultCache:
-    """A directory of ``<hash>.json`` result records."""
+    """A directory of ``<hash>.json`` result records.
+
+    Safe for concurrent use by many processes on one directory: writes
+    are atomic (temp file + rename), readers tolerate entries appearing
+    and disappearing mid-walk, and maintenance operations never touch
+    another writer's in-flight temp file.
+    """
 
     def __init__(self, cache_dir: Optional[os.PathLike] = None) -> None:
         self.root = Path(cache_dir) if cache_dir else default_cache_dir()
@@ -132,6 +185,15 @@ class ResultCache:
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
+
+    def _entry_paths(self):
+        """Every *committed* entry file, sorted; temp files excluded."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            path for path in self.root.glob("*.json")
+            if not path.name.startswith(".")
+        )
 
     def get(self, key: str) -> Optional[dict]:
         """The stored record for ``key``, or None (counted as a miss)."""
@@ -150,37 +212,21 @@ class ResultCache:
 
     def put(self, key: str, record: dict, meta: Optional[dict] = None) -> None:
         """Atomically persist ``record`` under ``key``."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        entry = {"record": record, "meta": meta or {}}
-        payload = json.dumps(entry, sort_keys=True, indent=1)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.root, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, self._path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(self._path(key),
+                         {"record": record, "meta": meta or {}}, indent=1)
 
     def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*.json"))
+        return len(self._entry_paths())
 
     def entries(self):
         """Yield ``(path, entry)`` for every readable cache entry.
 
-        Unreadable or malformed files are skipped -- maintenance tooling
-        must not fall over the same corrupt entry :meth:`get` tolerates.
+        Unreadable, malformed, or concurrently-deleted files are
+        skipped -- maintenance tooling must not fall over the same
+        corrupt entry :meth:`get` tolerates, nor over a sibling
+        process pruning the directory mid-walk.
         """
-        if not self.root.is_dir():
-            return
-        for path in sorted(self.root.glob("*.json")):
+        for path in self._entry_paths():
             try:
                 with path.open("r", encoding="utf-8") as handle:
                     entry = json.load(handle)
@@ -236,13 +282,27 @@ class ResultCache:
         return removed
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry; returns how many were removed.
+
+        Abandoned ``.part`` temp files are swept as well (not counted
+        as entries) -- but only those older than
+        :data:`STALE_TMP_SECONDS`: a *young* temp file may be a live
+        writer parked between write and rename, and deleting it would
+        make that writer's ``os.replace`` crash, dropping its record.
+        """
         removed = 0
+        for path in self._entry_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
         if self.root.is_dir():
-            for path in self.root.glob("*.json"):
+            cutoff = time.time() - STALE_TMP_SECONDS
+            for path in self.root.glob(f".tmp-*{TMP_SUFFIX}"):
                 try:
-                    path.unlink()
-                    removed += 1
+                    if path.stat().st_mtime < cutoff:
+                        path.unlink()
                 except OSError:
                     pass
         return removed

@@ -73,6 +73,20 @@ class SweepOutcome:
     def key(self):
         return self.point.key
 
+    def to_record(self) -> dict:
+        """JSON-safe summary of this outcome (key repr + raw record).
+
+        The point key is stored as ``repr`` -- keys are tuples/strings
+        chosen to label reports, and their repr is what shard workers
+        and the orchestrator compare across process boundaries.
+        """
+        return {
+            "key": repr(self.key),
+            "key_hash": self.key_hash,
+            "cached": self.cached,
+            "record": self.record,
+        }
+
 
 @dataclass
 class SweepReport:
@@ -109,6 +123,66 @@ class SweepReport:
             f"sweep {self.spec_name!r}: {len(self.outcomes)} points{shard}, "
             f"{self.hits} cached / {self.misses} simulated ({mode})"
         )
+
+    def to_record(self) -> dict:
+        """JSON-safe report summary: what a shard worker ships home.
+
+        The orchestrator merges these per-shard records
+        (:func:`merge_report_records`) into one full-grid record and
+        checks it bit-identical against a cached replay of the sweep.
+        """
+        return {
+            "spec": self.spec_name,
+            "shard": list(self.shard) if self.shard else None,
+            "workers": self.workers,
+            "parallel": self.parallel,
+            "hits": self.hits,
+            "misses": self.misses,
+            "points": [outcome.to_record() for outcome in self.outcomes],
+        }
+
+
+def merge_report_records(records: Sequence[dict]) -> dict:
+    """Merge per-shard report records into one full-grid record.
+
+    All records must describe the same spec.  Point keys must be
+    pairwise disjoint across shards (the sharder guarantees this;
+    a violation here means mixed-up shard files) -- except that a
+    reassigned shard may legitimately appear twice, in which case the
+    duplicate must carry a bit-identical ``record`` payload or the
+    merge refuses.  Hit/miss counters are summed across shards, so the
+    merged record's ``misses`` says how many points were *actually
+    simulated* across the whole run -- the orchestrator's
+    no-recompute assertion reads it directly.
+    """
+    if not records:
+        raise ValueError("nothing to merge: no shard report records")
+    spec_names = {record["spec"] for record in records}
+    if len(spec_names) != 1:
+        raise ValueError(
+            f"cannot merge reports from different sweeps: {sorted(spec_names)}"
+        )
+    merged_points: Dict[str, dict] = {}
+    hits = misses = 0
+    for record in records:
+        hits += record.get("hits", 0)
+        misses += record.get("misses", 0)
+        for point in record["points"]:
+            prior = merged_points.get(point["key"])
+            if prior is not None and prior["record"] != point["record"]:
+                raise ValueError(
+                    f"shard reports disagree on point {point['key']}: "
+                    f"{prior['record']!r} != {point['record']!r}"
+                )
+            if prior is None:
+                merged_points[point["key"]] = point
+    return {
+        "spec": spec_names.pop(),
+        "shard": None,
+        "hits": hits,
+        "misses": misses,
+        "points": list(merged_points.values()),
+    }
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -433,6 +507,12 @@ def _execute(
 #: Progress callback: (finished points, total points, newest outcome).
 ProgressFn = Callable[[int, int, SweepOutcome], None]
 
+#: Outcome-merge hook: called with every outcome as it lands (cached
+#: replays included), before it is delivered to the caller.  Shard
+#: workers use it to stream per-point state (heartbeats, counters,
+#: partial outcome records) into their lease files while a sweep runs.
+OutcomeFn = Callable[[SweepOutcome], None]
+
 
 def iter_sweep(
     spec: SweepSpec,
@@ -440,6 +520,7 @@ def iter_sweep(
     cache: Union[bool, ResultCache, NullCache] = True,
     cache_dir: Optional[os.PathLike] = None,
     shard: Optional[Tuple[int, int]] = None,
+    on_outcome: Optional[OutcomeFn] = None,
 ) -> Iterator[SweepOutcome]:
     """Yield :class:`SweepOutcome`\\ s as points finish.
 
@@ -448,7 +529,9 @@ def iter_sweep(
     that is whatever order the workers finish in.  This is the streaming
     face of :func:`run_sweep`: consume it for live progress bars or to
     start plotting a grid before its slowest point lands.  Arguments
-    match :func:`run_sweep`.
+    match :func:`run_sweep`; ``on_outcome`` additionally observes each
+    outcome *before* it is yielded (even if the consumer abandons the
+    generator early).
     """
     store = _resolve_store(cache, cache_dir)
     state = _EngineState(workers=resolve_workers(workers))
@@ -456,6 +539,8 @@ def iter_sweep(
     for _si, _pi, outcome in _execute(
         [spec], [points], state.workers, store, state
     ):
+        if on_outcome is not None:
+            on_outcome(outcome)
         yield outcome
 
 
@@ -466,6 +551,7 @@ def run_sweep(
     cache_dir: Optional[os.PathLike] = None,
     shard: Optional[Tuple[int, int]] = None,
     progress: Optional[ProgressFn] = None,
+    on_outcome: Optional[OutcomeFn] = None,
 ) -> SweepReport:
     """Execute every point of ``spec``; replay cached points instantly.
 
@@ -488,10 +574,14 @@ def run_sweep(
         Optional callback invoked as each point finishes with
         ``(finished, total, outcome)``; see :func:`iter_sweep` for a
         generator interface instead.
+    on_outcome:
+        Optional per-outcome hook (cached replays included), called as
+        each outcome lands -- the merge surface shard workers use to
+        stream state while the sweep runs.
     """
     return run_sweeps(
         [spec], workers=workers, cache=cache, cache_dir=cache_dir,
-        shard=shard, progress=progress,
+        shard=shard, progress=progress, on_outcome=on_outcome,
     )[0]
 
 
@@ -502,6 +592,7 @@ def run_sweeps(
     cache_dir: Optional[os.PathLike] = None,
     shard: Optional[Tuple[int, int]] = None,
     progress: Optional[ProgressFn] = None,
+    on_outcome: Optional[OutcomeFn] = None,
 ) -> List[SweepReport]:
     """Execute several sweeps against **one** worker-pool invocation.
 
@@ -526,6 +617,8 @@ def run_sweeps(
     for si, pi, outcome in _execute(specs, sharded, workers, store, state):
         slots[si][pi] = outcome
         finished += 1
+        if on_outcome is not None:
+            on_outcome(outcome)
         if progress is not None:
             progress(finished, total, outcome)
     return [

@@ -1,0 +1,38 @@
+"""Test-only registered sweeps for the orchestrator suite.
+
+Imported by name on *worker subprocesses* through the run manifest's
+``extra_imports`` hook (the tests put this directory on ``PYTHONPATH``
+before launching backends), which doubles as coverage for the hook
+itself: user-registered sweeps must be orchestratable.
+
+The ``orch-test-slow`` sweep exists because real simulation points at
+test scale finish in milliseconds -- far too fast to reliably kill a
+worker *mid-shard*.  Its runner sleeps a configurable delay per point
+and returns a deterministic record, so crash-injection tests get a
+predictable window while bit-identity checks stay trivial.
+"""
+
+import time
+
+from repro.core.config import SystemConfig
+from repro.sweep.spec import SweepPoint, SweepSpec, register_sweep
+
+
+def run_slow_point(config, tag: int = 0, delay: float = 0.0, **_ignored):
+    """Deterministic 'simulation': sleep, then a record derived from
+    the point tag and config (so different points differ)."""
+    if delay:
+        time.sleep(delay)
+    return {"tag": tag, "value": tag * 7 + 1, "packet": config.packet_size}
+
+
+@register_sweep("orch-test-slow")
+def orch_test_slow_sweep(points: int = 6, delay: float = 0.3) -> SweepSpec:
+    """Orchestrator test grid: ``points`` points, ``delay`` s each."""
+    base = SystemConfig.table2_baseline()
+    grid = [
+        SweepPoint(key=i, config=base, params={"tag": i, "delay": delay})
+        for i in range(points)
+    ]
+    return SweepSpec(name="orch-test-slow", points=grid,
+                     runner=run_slow_point)

@@ -3,10 +3,15 @@
 ``TestGoldenTwoDevice`` pins a 2-device contention run (ticks, event
 count, full stat snapshot) to constants captured when the topology
 subsystem landed, so later refactors of the switch fabric, arbitration
-or routing cannot silently change observable behaviour.  The rest
-covers endpoint scaling, peer-to-peer vs host-bounce transfers,
-switch-tier depth, reset identity across every topology component, and
-the sweep codecs for the new result types.
+or routing cannot silently change observable behaviour.
+``TestGoldenTopologySweeps`` extends that anchor to the two ``topo-*``
+sweeps that previously had no pinned oracle -- ``topo-p2p`` and
+``topo-switch-depth`` at their registered default scales -- giving
+orchestrated (sharded, multi-machine) runs of every topology sweep a
+bit-identity reference.  The rest covers endpoint scaling,
+peer-to-peer vs host-bounce transfers, switch-tier depth, reset
+identity across every topology component, and the sweep codecs for the
+new result types.
 """
 
 import pytest
@@ -149,6 +154,65 @@ class TestGoldenTwoDevice:
         system.reset()
         second = runner.drive(system, size_bytes=128 * 1024, mode="p2p")
         assert second.ticks == first.ticks
+
+
+#: Captured from the tree that introduced repro.orchestrate: the full
+#: ``topo-p2p`` sweep grid (pcie_2gb x2; sizes 64/256/512 KiB).
+GOLDEN_TOPO_P2P = {
+    ("p2p", 65536): (38514000, 0),
+    ("p2p", 262144): (146034000, 0),
+    ("p2p", 524288): (289394000, 0),
+    ("bounce", 65536): (78188472, 131072),
+    ("bounce", 262144): (293236472, 524288),
+    ("bounce", 524288): (579956472, 1048576),
+}
+
+#: Same capture: the ``topo-switch-depth`` grid (2 devices, 96^3 GEMM,
+#: 1..3 chained switch tiers) -> (ticks, device_ticks, uplink busy).
+GOLDEN_TOPO_SWITCH_DEPTH = {
+    1: (493431572, [486711572, 493431572], 0.9810965237546656),
+    2: (497794065, [491074065, 497794065], 0.9724985371209679),
+    3: (505122065, [498402065, 505122065], 0.9583901269488198),
+}
+
+
+class TestGoldenTopologySweeps:
+    """Pinned oracles for the topo sweeps that lacked them, at the
+    registered default scales -- the grids an orchestrated run
+    executes.  Shard workers on other machines must reproduce these
+    values bit-for-bit or their cache entries are wrong."""
+
+    def test_topo_p2p_sweep_matches_capture(self, tmp_path):
+        from repro.sweep import build_sweep, run_sweep
+
+        report = run_sweep(build_sweep("topo-p2p"), workers=1,
+                           cache_dir=tmp_path)
+        got = {
+            key: (r.ticks, r.root_complex_bytes)
+            for key, r in report.results().items()
+        }
+        assert got == GOLDEN_TOPO_P2P
+
+    def test_topo_switch_depth_sweep_matches_capture(self, tmp_path):
+        from repro.sweep import build_sweep, run_sweep
+
+        report = run_sweep(build_sweep("topo-switch-depth"), workers=1,
+                           cache_dir=tmp_path)
+        got = {
+            key: (r.ticks, list(r.device_ticks), r.uplink_busy_frac)
+            for key, r in report.results().items()
+        }
+        assert got == GOLDEN_TOPO_SWITCH_DEPTH
+
+    def test_p2p_direct_run_matches_sweep_path(self):
+        """The runner reached directly (no sweep engine, no cache)
+        reproduces the same pinned numbers -- the oracle is a property
+        of the simulator, not of the caching layer."""
+        result = run_peer_transfer(
+            SystemConfig.pcie_2gb(num_accelerators=2), 262144, mode="p2p"
+        )
+        assert (result.ticks, result.root_complex_bytes) == \
+            GOLDEN_TOPO_P2P[("p2p", 262144)]
 
 
 class TestEndpointScaling:

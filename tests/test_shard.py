@@ -1,9 +1,19 @@
 """Sweep sharding: deterministic, disjoint, exhaustive point slices."""
 
+import functools
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import SystemConfig
 from repro.sweep import (
+    SWEEPS,
     ResultCache,
     SweepPoint,
     SweepSpec,
@@ -57,6 +67,91 @@ class TestShardPartitioning:
             parse_shard("nope")
         with pytest.raises(ValueError, match="shard"):
             parse_shard("0/4")
+
+
+@functools.lru_cache(maxsize=None)
+def registry_spec(name: str) -> SweepSpec:
+    """One reduced-scale build of a registered sweep (construction only,
+    nothing is simulated)."""
+    return build_sweep(name)
+
+
+class TestShardPropertiesAcrossRegistry:
+    """Property-style guarantees over every *registered* sweep: for
+    randomized (spec, N), the N shard slices are pairwise-disjoint,
+    exhaustive, order-preserving, and stable -- the invariants the
+    orchestrator's work units are built on."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_random_shards_partition_registered_sweeps(self, data):
+        name = data.draw(st.sampled_from(sorted(SWEEPS)))
+        spec = registry_spec(name)
+        total = data.draw(
+            st.integers(min_value=1, max_value=len(spec) + 3),
+            label="shard total N",
+        )
+        shards = [shard_points(spec.points, (index, total))
+                  for index in range(1, total + 1)]
+        # Disjoint and exhaustive: the multiset of keys across shards
+        # is exactly the grid (keys are unique within a spec).
+        seen = [repr(point.key) for shard in shards for point in shard]
+        assert sorted(seen) == sorted(repr(p.key) for p in spec.points), (
+            f"shards of {name!r} with N={total} lose or duplicate points"
+        )
+        assert len(seen) == len(set(seen)), f"shards of {name!r} overlap"
+        # Order-preserving: every slice respects spec point order.
+        order = {repr(p.key): i for i, p in enumerate(spec.points)}
+        for shard in shards:
+            positions = [order[repr(p.key)] for p in shard]
+            assert positions == sorted(positions)
+        # Stable: recomputing any randomly chosen slice is identical.
+        index = data.draw(st.integers(min_value=1, max_value=total),
+                          label="shard index I")
+        again = shard_points(spec.points, (index, total))
+        assert [p.key for p in again] == [p.key for p in shards[index - 1]]
+
+    def test_shard_slices_stable_across_processes(self):
+        """The orchestrator's core assumption: a worker on another
+        machine slices a named sweep exactly as the dispatcher did."""
+        cases = [
+            ("pcie-bandwidth", 1, 3),
+            ("fig7-transformer", 2, 2),
+            ("tab4-translation", 3, 4),
+            ("topo-p2p", 2, 3),
+            ("ext-cxl-vit", 1, 2),
+        ]
+        expected = {
+            f"{name}:{index}/{total}": [
+                repr(p.key)
+                for p in shard_points(registry_spec(name).points,
+                                      (index, total))
+            ]
+            for name, index, total in cases
+        }
+        script = (
+            "import json\n"
+            "from repro.sweep import build_sweep, shard_points\n"
+            f"cases = {cases!r}\n"
+            "out = {}\n"
+            "for name, index, total in cases:\n"
+            "    points = build_sweep(name).points\n"
+            "    out[f'{name}:{index}/{total}'] = [\n"
+            "        repr(p.key)\n"
+            "        for p in shard_points(points, (index, total))]\n"
+            "print(json.dumps(out))\n"
+        )
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env,
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert json.loads(proc.stdout) == expected
 
 
 class TestShardedExecution:

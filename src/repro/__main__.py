@@ -50,6 +50,7 @@ from repro.core.runner import (
 from repro.sweep import (
     SWEEPS,
     ResultCache,
+    apply_domains,
     build_sweep,
     parse_shard,
     run_sweeps,
@@ -325,6 +326,14 @@ def cmd_sweep(args) -> int:
             specs = [build_sweep("pcie-bandwidth", base=base, size=size)]
         else:
             specs = [build_sweep("packet-size", base=base, size=size)]
+    if args.domains is not None and args.domains != 1:
+        # Intra-point PDES: validate the partition against every point's
+        # topology up front; infeasible requests die here with the
+        # offending component named (see docs/PARALLEL.md).
+        try:
+            specs = [apply_domains(spec, args.domains) for spec in specs]
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
     # All requested sweeps run against one worker-pool invocation.
     progress, progress_done = _progress_printer()
     try:
@@ -440,8 +449,22 @@ def cmd_orchestrate(args) -> int:
                         f"unknown sweep {name!r}; "
                         f"see python -m repro sweep --list"
                     )
-            sweeps = [{"name": name, "overrides": _plain_overrides(name, args)}
-                      for name in names]
+            sweeps = []
+            for name in names:
+                overrides = _plain_overrides(name, args)
+                if args.domains is not None and args.domains != 1:
+                    # Validated here (fail fast, component-named error)
+                    # and replayed by every worker when the manifest's
+                    # spec is rebuilt (see orchestrate/manifest.py).
+                    try:
+                        apply_domains(
+                            build_sweep(name, **_factory_kwargs(name, args)),
+                            args.domains,
+                        )
+                    except ValueError as exc:
+                        raise SystemExit(str(exc)) from None
+                    overrides["domains"] = args.domains
+                sweeps.append({"name": name, "overrides": overrides})
             cache_dir = (args.cache_dir if args.cache_dir
                          else default_cache_dir())
             if args.run_dir:
@@ -579,6 +602,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--dim-scale", type=float, default=None,
                          help="ViT dim-scale override "
                               "(if the sweep takes one)")
+    p_sweep.add_argument("--domains", type=int, default=None, metavar="N",
+                         help="event domains per point (intra-point PDES; "
+                              "default 1 = classic single-queue engine; "
+                              "clamped to what each point's topology "
+                              "supports, refused if a hop violates the "
+                              "lookahead rule; see docs/PARALLEL.md)")
     p_sweep.add_argument("--shard", default=None, metavar="I/N",
                          help="simulate only shard I of N "
                               "(deterministic slice; share --cache-dir "
@@ -612,6 +641,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_orch.add_argument("--dim-scale", type=float, default=None,
                         help="ViT dim-scale override "
                              "(if the sweep takes one)")
+    p_orch.add_argument("--domains", type=int, default=None, metavar="N",
+                        help="event domains per point (intra-point PDES; "
+                             "recorded in the run manifest so every "
+                             "shard worker rebuilds the same partitioned "
+                             "spec; see docs/PARALLEL.md)")
     p_orch.add_argument("--backend", choices=["local", "ssh", "slurm"],
                         default="local",
                         help="where shard workers run (default: local)")

@@ -43,6 +43,7 @@ from repro.sweep.spec import (
     SWEEPS,
     SweepPoint,
     SweepSpec,
+    apply_domains,
     build_sweep,
     derive_seed,
     gemm_points,
@@ -63,6 +64,7 @@ __all__ = [
     "run_sweep",
     "run_sweeps",
     "iter_sweep",
+    "apply_domains",
     "build_sweep",
     "register_sweep",
     "register_runner",

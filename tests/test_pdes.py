@@ -1,0 +1,513 @@
+"""Intra-point PDES: event domains, lockstep determinism, partitioning.
+
+Covers the :class:`~repro.sim.eventq.ParallelSimulator` kernel (global
+event order, cross-domain channels, quantum rounds, threaded mode), the
+:func:`~repro.topology.fabric.plan_domains` partition planner and its
+lookahead refusals, the sweep-layer ``--domains`` plumbing, the reset
+behaviour of the simulator's diagnostic counters, and -- the acceptance
+bar of the refactor -- domain-count invariance: the same multi-device
+point simulated with 1, 2 and 4 domains produces bit-identical ticks,
+event counts and stat snapshots.  docs/PARALLEL.md explains the model.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.runner import MultiGemmRunner, PeerTransferRunner
+from repro.core.system import AcceSysSystem
+from repro.interconnect.pcie.link import PCIeConfig
+from repro.sim.eventq import ParallelSimulator, Simulator
+from repro.sweep.spec import SweepPoint, SweepSpec, apply_domains, build_sweep
+from repro.topology.description import (
+    EndpointDesc,
+    SwitchDesc,
+    TopologyDesc,
+    flat_topology,
+    tiered_topology,
+)
+from repro.topology.fabric import plan_domains, plan_for_config
+
+
+# ----------------------------------------------------------------------
+# ParallelSimulator kernel
+# ----------------------------------------------------------------------
+class TestParallelSimulator:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ParallelSimulator(0)
+        with pytest.raises(ValueError):
+            ParallelSimulator(2, quantum=0)
+
+    def test_execution_order_matches_classic(self):
+        """The lockstep merge replays the classic global event order."""
+
+        def drive(sim, to_domain):
+            order = []
+
+            def make(tag, delay):
+                def fire():
+                    order.append((tag, sim.now))
+                    if sim.now < 400:
+                        sim.schedule(delay, fire)
+
+                return fire
+
+            for i in range(6):
+                to_domain(i % 3, 1 + i * 3, make(i, 5 + i))
+            sim.run()
+            return order
+
+        classic = Simulator()
+        reference = drive(classic, lambda d, t, fn: classic.schedule(t, fn))
+        parallel = ParallelSimulator(3, quantum=7)
+        got = drive(parallel, parallel.schedule_in)
+        assert got == reference
+        assert parallel.events_executed == classic.events_executed
+        assert parallel.now == classic.now
+
+    def test_schedule_runs_in_current_domain(self):
+        sim = ParallelSimulator(2, quantum=10)
+        seen = []
+
+        def inner():
+            seen.append(sim._ctx())
+
+        # An event in domain 1 schedules a follow-up without naming a
+        # domain: it must stay in domain 1 (domain affinity).
+        sim.schedule_in(1, 5, lambda: sim.schedule(3, inner))
+        sim.run()
+        assert seen == [1]
+        assert sim.domains[1].executed == 2
+        assert sim.domains[0].executed == 0
+
+    def test_post_at_crosses_at_the_barrier(self):
+        sim = ParallelSimulator(2, quantum=10)
+        seen = []
+
+        def host():  # domain 0, tick 2
+            sim.post_at(1, 15, lambda: seen.append(("ep", sim.now)))
+
+        sim.schedule_in(0, 2, host)
+        sim.run()
+        assert seen == [("ep", 15)]
+        assert sim.cross_posts == 1
+        assert sim.domains[1].executed == 1
+
+    def test_post_ordering_is_deterministic(self):
+        """Same-tick posts deliver in global posting order -- exactly
+        the tie-break a classic single-queue run would apply if each
+        post had been a ``schedule_at`` by the executing event."""
+        sim = ParallelSimulator(3, quantum=10)
+        seen = []
+        # Domain 2's event executes first (tick 1 < tick 2), so its
+        # post carries the earlier global sequence number and wins the
+        # same-tick tie at delivery.
+        sim.schedule_in(2, 1, lambda: sim.post_at(0, 20, lambda: seen.append("from2")))
+        sim.schedule_in(1, 2, lambda: sim.post_at(0, 20, lambda: seen.append("from1")))
+        sim.run()
+        assert seen == ["from2", "from1"]
+
+    def test_post_in_the_past_rejected(self):
+        sim = ParallelSimulator(2)
+        sim.schedule_in(0, 5, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError, match="cannot post"):
+            sim.post_at(1, 3, lambda: None)
+
+    def test_lookahead_violation_raises(self):
+        """A post inside the target's already-executed window is a
+        causality error, reported against the quantum."""
+        sim = ParallelSimulator(2, quantum=10)
+        sim.schedule_in(1, 9, lambda: None)
+        # Domain 0 at tick 2 posts for tick 5; domain 1 reaches tick 9
+        # within the same round, so the barrier must refuse delivery.
+        sim.schedule_in(0, 2, lambda: sim.post_at(1, 5, lambda: None, name="bad"))
+        with pytest.raises(RuntimeError, match="lookahead"):
+            sim.run()
+
+    def test_until_and_max_events(self):
+        sim = ParallelSimulator(2, quantum=4)
+        fired = []
+        for tick in (1, 5, 9, 13):
+            sim.schedule_in(tick % 2, tick, lambda t=tick: fired.append(t))
+        sim.run(until=9)
+        assert fired == [1, 5, 9]
+        assert sim.now == 9
+        assert sim.pending_events == 1
+
+        sim2 = ParallelSimulator(2, quantum=4)
+        for tick in (1, 5, 9):
+            sim2.schedule_in(tick % 2, tick, lambda t=tick: fired.append(t))
+        executed = sim2.run(max_events=2)
+        assert sim2.events_executed == 2
+        assert executed == sim2.now
+
+    def test_sync_rounds_counted(self):
+        sim = ParallelSimulator(2, quantum=5)
+        sim.schedule_in(0, 1, lambda: None)
+        sim.schedule_in(1, 23, lambda: None)
+        sim.run()
+        # Rounds only open where events exist (idle quanta are skipped),
+        # so two isolated ticks cost two rounds.
+        assert sim.sync_rounds == 2
+
+    def test_cancellation_visible_globally(self):
+        sim = ParallelSimulator(2, quantum=10)
+        victim = sim.schedule_in(1, 5, lambda: pytest.fail("cancelled event ran"))
+        victim.cancel()
+        sim.schedule_in(0, 6, lambda: None)
+        sim.run()
+        assert sim.events_skipped == 1
+        assert sim.events_executed == 1
+
+    def test_reset_restores_construction_state(self):
+        sim = ParallelSimulator(3, quantum=10)
+        sim.schedule_in(1, 4, lambda: sim.post_at(2, 30, lambda: None))
+        sim.run()
+        assert sim.events_executed == 2
+        sim.reset()
+        assert sim.now == 0
+        assert sim.pending_events == 0
+        assert sim.events_executed == 0
+        assert sim.cross_posts == 0
+        assert sim.sync_rounds == 0
+        assert all(dom.now == 0 and dom.executed == 0 for dom in sim.domains)
+        # And the reset simulator still runs.
+        sim.schedule_in(2, 7, lambda: None)
+        sim.run()
+        assert sim.events_executed == 1
+
+    def test_assign_domain_validates_index(self):
+        sim = ParallelSimulator(2)
+
+        class Obj:
+            domain = 0
+
+        with pytest.raises(ValueError, match="domain"):
+            sim.assign_domain(Obj(), 2)
+
+    def test_run_until_idle(self):
+        sim = ParallelSimulator(2, quantum=10)
+        state = {"left": 5}
+
+        def fire():
+            state["left"] -= 1
+            if state["left"] > 0:
+                sim.schedule(3, fire)
+
+        sim.schedule_in(1, 1, fire)
+        sim.run_until_idle(lambda: state["left"] == 0)
+        assert state["left"] == 0
+
+    def test_threaded_matches_lockstep(self):
+        """Domain-confined programs drain identically with worker
+        threads and with the serial lockstep merge."""
+
+        def build(threads):
+            sim = ParallelSimulator(3, quantum=16, threads=threads)
+
+            def make(delay):
+                def fire():
+                    if sim.now < 3000:
+                        sim.schedule(delay, fire)
+
+                return fire
+
+            for dom in range(3):
+                for i in range(4):
+                    sim.schedule_in(dom, 1 + i, make(5 + dom + i))
+            sim.run()
+            return sim
+
+        serial = build(False)
+        threaded = build(True)
+        assert threaded.events_executed == serial.events_executed
+        assert [d.executed for d in threaded.domains] == [
+            d.executed for d in serial.domains
+        ]
+        assert [d.now for d in threaded.domains] == [
+            d.now for d in serial.domains
+        ]
+
+
+# ----------------------------------------------------------------------
+# Satellite: diagnostic counters cleared by reset
+# ----------------------------------------------------------------------
+class TestDiagnosticsReset:
+    def test_freelist_high_water_tracked_and_cleared(self):
+        sim = Simulator()
+        for i in range(32):
+            sim.schedule(i + 1, lambda: None)
+        sim.run()
+        assert sim.freelist_high_water > 0
+        first = sim.diagnostics()
+        sim.reset()
+        assert sim.freelist_high_water == 0
+        assert sim.events_skipped == 0
+        assert sim.diagnostics()["freelist_high_water"] == 0
+        # A rerun reports per-run numbers, not cumulative ones.
+        for i in range(32):
+            sim.schedule(i + 1, lambda: None)
+        sim.run()
+        assert sim.diagnostics() == first
+
+    def test_events_skipped_cleared_by_reset(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None).cancel()
+        sim.schedule(2, lambda: None)
+        sim.run()
+        assert sim.events_skipped == 1
+        sim.reset()
+        assert sim.events_skipped == 0
+
+    def test_parallel_diagnostics_keys(self):
+        sim = ParallelSimulator(2)
+        diag = sim.diagnostics()
+        assert set(diag) == {
+            "events_executed",
+            "events_skipped",
+            "freelist_high_water",
+            "sync_rounds",
+            "cross_posts",
+        }
+
+
+# ----------------------------------------------------------------------
+# Partition planning
+# ----------------------------------------------------------------------
+class TestDomainPlanning:
+    def test_flat_partition_blocks(self):
+        plan = plan_domains(flat_topology(4), PCIeConfig(), 3)
+        assert plan.endpoint_domain == (1, 1, 2, 2)
+        plan = plan_domains(flat_topology(4), PCIeConfig(), 5)
+        assert plan.endpoint_domain == (1, 2, 3, 4)
+
+    def test_quantum_is_min_hop_latency(self):
+        config = PCIeConfig()
+        plan = plan_domains(tiered_topology(4, depth=2), config, 3)
+        assert plan.quantum == min(config.rc_latency, config.switch_latency)
+        # A slower bespoke switch does not lower the quantum; a faster
+        # one does.
+        fast = TopologyDesc(root=SwitchDesc(
+            children=(EndpointDesc(), EndpointDesc()), latency=7,
+        ))
+        assert plan_domains(fast, config, 2).quantum == 7
+
+    def test_more_workers_than_endpoints_refused(self):
+        with pytest.raises(ValueError, match="effective_domains"):
+            plan_domains(flat_topology(2), PCIeConfig(), 4)
+
+    def test_zero_latency_root_complex_refused_by_name(self):
+        with pytest.raises(ValueError, match="root complex"):
+            plan_domains(flat_topology(2), PCIeConfig(rc_latency=0), 2)
+
+    def test_zero_latency_switch_refused_by_name(self):
+        topo = TopologyDesc(root=SwitchDesc(children=(
+            SwitchDesc(children=(EndpointDesc(),), latency=0, name="leafsw"),
+            EndpointDesc(),
+        )))
+        with pytest.raises(ValueError, match="leafsw"):
+            plan_domains(topo, PCIeConfig(), 2)
+
+    def test_single_domain_never_refuses(self):
+        plan = plan_domains(flat_topology(2), PCIeConfig(rc_latency=0), 1)
+        assert plan.domains == 1
+        assert plan.endpoint_domain == (0, 0)
+
+    def test_effective_domains_clamps(self):
+        config = SystemConfig.pcie_2gb(num_accelerators=2).with_domains(16)
+        assert config.effective_domains() == 3
+        assert SystemConfig.pcie_8gb().with_domains(4).effective_domains() == 1
+        assert SystemConfig.pcie_2gb(num_accelerators=4).effective_domains() == 1
+
+    def test_with_domains_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig.pcie_8gb().with_domains(0)
+
+    def test_plan_for_config(self):
+        assert plan_for_config(SystemConfig.pcie_8gb().with_domains(4)) is None
+        config = SystemConfig.pcie_2gb(num_accelerators=4).with_domains(3)
+        plan = plan_for_config(config)
+        assert plan is not None
+        assert plan.domains == 3
+        assert len(plan.endpoint_domain) == 4
+
+    def test_domains_in_canonical_form(self):
+        base = SystemConfig.pcie_2gb(num_accelerators=2)
+        assert base.stable_hash() != base.with_domains(2).stable_hash()
+        assert base.with_domains(2).to_canonical()["domains"] == 2
+
+
+# ----------------------------------------------------------------------
+# Sweep-layer plumbing
+# ----------------------------------------------------------------------
+class TestApplyDomains:
+    def test_apply_domains_rewrites_points(self):
+        spec = build_sweep("topo-endpoint-scaling", size=32)
+        applied = apply_domains(spec, 4)
+        assert applied is not spec
+        assert all(p.config.domains == 4 for p in applied.points)
+        assert [p.key for p in applied.points] == [p.key for p in spec.points]
+        # Identity cases return the spec untouched.
+        assert apply_domains(spec, None) is spec
+        assert apply_domains(spec, 1) is spec
+
+    def test_apply_domains_names_offending_point(self):
+        bad = dataclasses.replace(
+            SystemConfig.pcie_2gb(num_accelerators=2),
+            pcie=PCIeConfig(rc_latency=0),
+        )
+        spec = SweepSpec("badsweep", [
+            SweepPoint(key="pt", config=bad, params={"m": 8, "k": 8, "n": 8})
+        ], runner="multigemm")
+        with pytest.raises(ValueError, match="badsweep.*pt.*root complex"):
+            apply_domains(spec, 2)
+
+
+# ----------------------------------------------------------------------
+# System-level partition: every object lands in exactly one domain
+# ----------------------------------------------------------------------
+def _registered_topo_configs():
+    """Unique point configs across every registered topo-* sweep,
+    partitioned at --domains 4."""
+    seen = {}
+    for name, kwargs in (
+        ("topo-endpoint-scaling", {"size": 32}),
+        ("topo-contention", {"size": 32}),
+        ("topo-p2p", {}),
+        ("topo-switch-depth", {"size": 32}),
+    ):
+        spec = apply_domains(build_sweep(name, **kwargs), 4)
+        for point in spec.points:
+            seen.setdefault(point.config.stable_hash(), point.config)
+    return list(seen.values())
+
+
+class TestSystemPartition:
+    def test_registered_topologies_partition_cleanly(self):
+        configs = _registered_topo_configs()
+        assert configs, "no topo-* sweeps registered?"
+        for config in configs:
+            plan = plan_for_config(config)
+            assert plan is not None
+            system = AcceSysSystem(config)
+            assert isinstance(system.sim, ParallelSimulator)
+            assert system.sim.num_domains == plan.domains
+
+            # Exactly-one-domain: every registered SimObject carries a
+            # valid affinity, and each accelerator subtree agrees on it.
+            for obj in system.sim.objects:
+                assert 0 <= obj.domain < plan.domains, obj.name
+            for index, want in enumerate(plan.endpoint_domain):
+                suffix = "" if len(plan.endpoint_domain) == 1 else str(index)
+                prefix = f"system.accel{suffix}"
+                members = [
+                    obj for obj in system.sim.objects
+                    if obj.name == prefix
+                    or obj.name.startswith(prefix + ".")
+                ]
+                assert members, prefix
+                assert {obj.domain for obj in members} == {want}
+
+            # Host-side objects stay in domain 0.
+            host = [
+                obj for obj in system.sim.objects
+                if not obj.name.startswith("system.accel")
+                and not obj.name.startswith("system.pcie.ep")
+            ]
+            assert host and all(obj.domain == 0 for obj in host)
+
+    def test_cross_domain_segments_respect_lookahead(self):
+        for config in _registered_topo_configs():
+            system = AcceSysSystem(config)
+            plan = system.domain_plan
+            fabric = system.fabric
+            routes = list(fabric._up_routes) + list(fabric._down_routes)
+            crossings = 0
+            for route in routes:
+                for link, _port, skip_hop, deliver in route:
+                    if deliver is None:
+                        continue
+                    crossings += 1
+                    assert not skip_hop
+                    assert deliver != link.domain
+                    # The lookahead rule: a boundary hop's latency must
+                    # cover the quantum.
+                    assert link.hop_latency >= plan.quantum
+            if plan.domains > 1 and config.effective_topology().num_endpoints > 1:
+                assert crossings > 0, config.name
+
+
+# ----------------------------------------------------------------------
+# The acceptance bar: domain-count invariance
+# ----------------------------------------------------------------------
+class TestDomainCountInvariance:
+    def _run_multigemm(self, domains):
+        config = SystemConfig.pcie_2gb(num_accelerators=4).with_domains(domains)
+        system = AcceSysSystem(config)
+        result = MultiGemmRunner().drive(system, m=32, k=32, n=32)
+        return system, result
+
+    def test_multigemm_invariant_across_1_2_4_domains(self):
+        baseline_system, baseline = self._run_multigemm(1)
+        assert isinstance(baseline_system.sim, Simulator)
+        assert not isinstance(baseline_system.sim, ParallelSimulator)
+        for domains in (2, 4):
+            system, result = self._run_multigemm(domains)
+            assert isinstance(system.sim, ParallelSimulator)
+            assert result.ticks == baseline.ticks
+            assert result.device_ticks == baseline.device_ticks
+            assert system.sim.events_executed == \
+                baseline_system.sim.events_executed
+            assert system.now == baseline_system.now
+            assert result.component_stats == baseline.component_stats
+            assert system.sim.cross_posts > 0
+
+    def test_peer_transfer_invariant(self):
+        baseline = None
+        for domains in (1, 2, 4):
+            config = SystemConfig.pcie_2gb(num_accelerators=4).with_domains(
+                domains
+            )
+            system = AcceSysSystem(config)
+            result = PeerTransferRunner().drive(
+                system, size_bytes=64 * 1024, mode="p2p"
+            )
+            snap = (result.ticks, result.root_complex_bytes, system.now,
+                    system.sim.events_executed)
+            if baseline is None:
+                baseline = snap
+            assert snap == baseline
+
+    def test_tiered_topology_invariant(self):
+        baseline = None
+        base = SystemConfig.pcie_2gb(num_accelerators=4).with_topology(
+            tiered_topology(4, depth=2)
+        )
+        for domains in (1, 2, 4):
+            system = AcceSysSystem(base.with_domains(domains))
+            result = MultiGemmRunner().drive(system, m=32, k=32, n=32)
+            snap = (result.ticks, tuple(result.device_ticks),
+                    system.sim.events_executed,
+                    tuple(sorted(result.component_stats.items())))
+            if baseline is None:
+                baseline = snap
+            assert snap == baseline
+
+    def test_reset_rerun_identity_under_domains(self):
+        """A reset ParallelSimulator system replays bit-identically
+        (what the sweep engine's system memo relies on)."""
+        config = SystemConfig.pcie_2gb(num_accelerators=4).with_domains(4)
+        system = AcceSysSystem(config)
+        runner = MultiGemmRunner()
+        first = runner.drive(system, m=32, k=32, n=32)
+        first_events = system.sim.events_executed
+        system.reset()
+        assert system.sim.pending_events == 0
+        second = runner.drive(system, m=32, k=32, n=32)
+        assert second.ticks == first.ticks
+        assert second.device_ticks == first.device_ticks
+        assert second.component_stats == first.component_stats
+        assert system.sim.events_executed == first_events

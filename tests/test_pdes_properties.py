@@ -1,0 +1,85 @@
+"""Property-based invariants of the domain partition planner.
+
+Skipped wholesale when ``hypothesis`` is unavailable; the deterministic
+partition checks over the registered topo-* sweeps live in
+``tests/test_pdes.py`` and always run.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.interconnect.pcie.link import PCIeConfig  # noqa: E402
+from repro.topology.description import (  # noqa: E402
+    balanced_tree,
+    flat_topology,
+    tiered_topology,
+)
+from repro.topology.fabric import plan_domains  # noqa: E402
+
+
+def _topology(shape, endpoints, depth):
+    if shape == "flat":
+        return flat_topology(endpoints)
+    if shape == "tiered":
+        return tiered_topology(endpoints, depth=depth)
+    return balanced_tree(endpoints, fanout=2)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    shape=st.sampled_from(["flat", "tiered", "tree"]),
+    endpoints=st.integers(min_value=1, max_value=10),
+    depth=st.integers(min_value=1, max_value=3),
+    domains=st.integers(min_value=1, max_value=12),
+    rc_latency=st.integers(min_value=1, max_value=200_000),
+    switch_latency=st.integers(min_value=1, max_value=100_000),
+)
+def test_partition_covers_every_endpoint_exactly_once(
+    shape, endpoints, depth, domains, rc_latency, switch_latency
+):
+    """Every endpoint lands in exactly one worker domain, worker
+    domains are used contiguously, and the quantum never exceeds any
+    hop latency (the lookahead rule at plan level)."""
+    topology = _topology(shape, endpoints, depth)
+    config = PCIeConfig(rc_latency=rc_latency, switch_latency=switch_latency)
+    domains = min(domains, endpoints + 1)  # what effective_domains() does
+    plan = plan_domains(topology, config, domains)
+
+    assert plan.domains == domains
+    # Exactly one domain per endpoint, in the worker range.
+    assert len(plan.endpoint_domain) == topology.num_endpoints
+    if domains == 1:
+        assert set(plan.endpoint_domain) <= {0}
+    else:
+        assert all(1 <= d <= domains - 1 for d in plan.endpoint_domain)
+        # Contiguous block assignment: non-decreasing and surjective
+        # (no worker domain sits idle).
+        assert list(plan.endpoint_domain) == sorted(plan.endpoint_domain)
+        assert set(plan.endpoint_domain) == set(range(1, domains))
+
+    # The quantum lower-bounds every cross-domain hop in the hierarchy.
+    assert plan.quantum >= 1
+    assert plan.quantum <= rc_latency
+    if topology.num_switches:
+        assert plan.quantum <= switch_latency
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    endpoints=st.integers(min_value=1, max_value=8),
+    domains=st.integers(min_value=2, max_value=9),
+    bad_latency=st.integers(min_value=-5, max_value=0),
+)
+def test_lookahead_violations_always_refused(endpoints, domains, bad_latency):
+    """Any hop below one tick of lookahead is refused, never silently
+    clamped, whenever more than one domain is requested."""
+    config = PCIeConfig(rc_latency=bad_latency)
+    domains = min(domains, endpoints + 1)
+    if domains == 1:
+        return
+    with pytest.raises(ValueError, match="lookahead"):
+        plan_domains(flat_topology(endpoints), config, domains)

@@ -55,6 +55,7 @@ HIGHER_IS_BETTER = {
     "event_throughput_eps",
     "event_cancel_eps",
     "idle_loop_eps",
+    "surrogate_grid_eps",
 }
 
 
@@ -330,6 +331,61 @@ def bench_fig6_grid(size: int) -> float:
     return _best_of(run, repeats=3)[0]
 
 
+def bench_surrogate_grid(quick: bool) -> float:
+    """Vectorized surrogate scoring throughput, points per second.
+
+    Scores a cross-product GEMM design grid (matrix size x packet size x
+    lane speed x lane count x memory bandwidth) through the analytical
+    tier's batch path -- the ``estimate_grid`` rate the fidelity ladder
+    leans on to make million-point grids browsable (docs/SURROGATE.md
+    gates this at >= 100k points/s).
+    """
+    from repro.surrogate import SurrogateGrid, estimate_grid
+
+    sizes = 20 if quick else 40
+    grid = SurrogateGrid(
+        base=SystemConfig.pcie_8gb(),
+        axes={
+            "size": [16 * (i + 1) for i in range(sizes)],
+            "packet_size": [64, 128, 256, 512, 1024, 2048, 4096],
+            "lane_gbps": [2.5, 5.0, 8.0, 16.0, 32.0, 64.0],
+            "lanes": [1, 2, 4, 8, 16],
+            "mem_gbps": [10, 20, 40, 80, 160, 320],
+        },
+    )
+
+    def run():
+        t0 = time.perf_counter()
+        estimates = estimate_grid(grid)
+        t1 = time.perf_counter()
+        assert estimates.num_points == grid.num_points
+        return grid.num_points / (t1 - t0), t1 - t0
+
+    return _best_of(run, repeats=3)[0]
+
+
+def bench_ladder_fig6(size: int) -> float:
+    """Fidelity ladder on the fig6 grid: score, prune to 10%, simulate.
+
+    Same grid as :func:`bench_fig6_grid`, but pruned by the surrogate
+    before simulation -- the recorded ratio ``fig6_grid_s /
+    ladder_fig6_s`` is the ladder's end-to-end win (>= 5x at top-K=10%).
+    """
+    from repro.surrogate import LadderSpec, run_ladder
+
+    spec = build_sweep("fig6a-mem-bandwidth", size=size)
+    ladder = LadderSpec(spec=spec, top_k="10%", margin=0.0)
+
+    def run():
+        t0 = time.perf_counter()
+        report = run_ladder(ladder, workers=1, cache=False)
+        t1 = time.perf_counter()
+        assert report.pruned > 0
+        return t1 - t0, t1 - t0
+
+    return _best_of(run, repeats=3)[0]
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -357,6 +413,8 @@ def collect_metrics(quick: bool) -> dict:
     )
     metrics["snapshot_us"] = round(bench_snapshot(gemm_size, snap_iters), 2)
     metrics["fig6_grid_s"] = round(bench_fig6_grid(grid_size), 3)
+    metrics["surrogate_grid_eps"] = round(bench_surrogate_grid(quick), 1)
+    metrics["ladder_fig6_s"] = round(bench_ladder_fig6(grid_size), 3)
     return metrics
 
 

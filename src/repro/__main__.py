@@ -334,6 +334,14 @@ def cmd_sweep(args) -> int:
             specs = [apply_domains(spec, args.domains) for spec in specs]
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
+    if args.ladder:
+        if not names:
+            raise SystemExit("--ladder requires --name <sweep>")
+        return _run_ladders(args, specs, shard)
+    for flag in ("top_k", "pareto", "margin", "objective", "calibration"):
+        if getattr(args, flag) not in (None, False, 0.1):
+            print(f"note: --{flag.replace('_', '-')} applies with --ladder "
+                  f"only", file=sys.stderr)
     # All requested sweeps run against one worker-pool invocation.
     progress, progress_done = _progress_printer()
     try:
@@ -365,6 +373,126 @@ def cmd_sweep(args) -> int:
             header, rows = _result_rows(report)
             print(format_table(header, rows, title=spec.name))
         print(report.describe())
+    return 0
+
+
+def _run_ladders(args, specs, shard) -> int:
+    """``sweep --ladder``: surrogate-score, prune, simulate survivors."""
+    from repro.surrogate import (
+        Calibration,
+        CalibrationError,
+        LadderSpec,
+        run_ladder,
+    )
+
+    calibration = None
+    if args.calibration:
+        try:
+            calibration = Calibration.load(args.calibration)
+        except (OSError, ValueError, TypeError, KeyError) as exc:
+            raise SystemExit(
+                f"cannot load calibration {args.calibration!r}: {exc}"
+            ) from None
+    objectives = tuple(args.objective) if args.objective else ("ticks",)
+    top_k = args.top_k
+    if top_k is None and not args.pareto:
+        top_k = "10%"
+    progress, progress_done = _progress_printer()
+    try:
+        for spec in specs:
+            try:
+                ladder = LadderSpec(
+                    spec=spec,
+                    top_k=top_k,
+                    pareto=args.pareto,
+                    objectives=objectives,
+                    margin=args.margin,
+                    calibration=calibration,
+                )
+                lreport = run_ladder(
+                    ladder,
+                    workers=args.workers,
+                    cache=not args.no_cache,
+                    cache_dir=args.cache_dir,
+                    shard=shard,
+                    progress=progress,
+                )
+            except (CalibrationError, ValueError) as exc:
+                raise SystemExit(f"ladder: {exc}") from None
+            header, rows = _result_rows(lreport.report)
+            estimates = {est.key: est for est in lreport.estimates}
+            rows = [
+                row + (f"{estimates[key].ticks / 1e6:.1f}",)
+                for row, key in zip(rows, lreport.report.results())
+            ]
+            print(format_table(header + ["surrogate us"], rows,
+                               title=spec.name))
+            print(lreport.describe())
+    finally:
+        progress_done()
+    return 0
+
+
+def cmd_surrogate(args) -> int:
+    """``surrogate xval`` / ``surrogate estimate``."""
+    from repro.surrogate import Calibration, cross_validate, estimate_spec
+
+    name = args.name
+    if name not in SWEEPS:
+        raise SystemExit(
+            f"unknown sweep {name!r}; see python -m repro sweep --list"
+        )
+    spec = build_sweep(name, **_factory_kwargs(name, args))
+    if args.action == "xval":
+        progress, progress_done = _progress_printer()
+        try:
+            calibration = cross_validate(
+                spec,
+                fraction=args.fraction,
+                workers=args.workers,
+                cache=not args.no_cache,
+                cache_dir=args.cache_dir,
+                progress=progress,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"surrogate xval: {exc}") from None
+        finally:
+            progress_done()
+        print(f"cross-validation of '{spec.name}' "
+              f"(fraction {args.fraction:g}):")
+        print(calibration.describe())
+        if args.out:
+            calibration.save(args.out)
+            print(f"calibration written to {args.out}")
+        return 0
+    # estimate: score the whole grid analytically, no simulation at all.
+    calibration = None
+    if args.calibration:
+        try:
+            calibration = Calibration.load(args.calibration)
+        except (OSError, ValueError, TypeError, KeyError) as exc:
+            raise SystemExit(
+                f"cannot load calibration {args.calibration!r}: {exc}"
+            ) from None
+    estimates = sorted(
+        estimate_spec(spec, calibration=calibration),
+        key=lambda est: est.ticks,
+    )
+    if args.top:
+        estimates = estimates[:args.top]
+    rows = [
+        (
+            repr(est.key),
+            f"{est.ticks / 1e6:.1f}",
+            f"{est.bytes_on_wire / 1e6:.2f}",
+            f"{100 * est.uplink_busy:.1f}%",
+        )
+        for est in estimates
+    ]
+    print(format_table(
+        ["point", "est us", "wire MB", "uplink"], rows,
+        title=f"surrogate estimates: {spec.name} (best first)",
+    ))
     return 0
 
 
@@ -622,7 +750,68 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--no-cache", action="store_true",
                          help="always re-simulate; do not read or "
                               "write the result cache")
+    p_sweep.add_argument("--ladder", action="store_true",
+                         help="fidelity ladder: surrogate-score the full "
+                              "grid, prune, simulate only the survivors "
+                              "(docs/SURROGATE.md)")
+    p_sweep.add_argument("--top-k", default=None, metavar="K",
+                         help="ladder: keep the K best estimated points "
+                              "(count or percentage like '10%%'; default "
+                              "10%% when --pareto is not given)")
+    p_sweep.add_argument("--pareto", action="store_true",
+                         help="ladder: keep the Pareto front of the "
+                              "estimated objectives instead of top-K")
+    p_sweep.add_argument("--margin", type=float, default=0.1,
+                         help="ladder: safety margin; survivors within "
+                              "(1+margin) of the cutoff are kept "
+                              "(default 0.1)")
+    p_sweep.add_argument("--objective", action="append", default=None,
+                         choices=["ticks", "bytes_on_wire", "uplink_busy"],
+                         help="ladder objective (repeatable; top-K uses "
+                              "the first, Pareto all; default: ticks)")
+    p_sweep.add_argument("--calibration", default=None, metavar="PATH",
+                         help="ladder: calibration JSON from 'surrogate "
+                              "xval'; scales estimates and refuses to "
+                              "prune when measured p95 error > margin")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_sur = sub.add_parser(
+        "surrogate",
+        help="analytical surrogate tier: score grids without simulating, "
+             "cross-validate the model (docs/SURROGATE.md)",
+    )
+    p_sur.add_argument("action", choices=["xval", "estimate"],
+                       help="xval: simulate a stratified sample and fit "
+                            "the calibration; estimate: score the grid "
+                            "analytically")
+    p_sur.add_argument("--name", default="fig6a-mem-bandwidth",
+                       help="registered sweep whose grid to score "
+                            "(see sweep --list)")
+    p_sur.add_argument("--system", default=None,
+                       help="base system (if the sweep takes one)")
+    p_sur.add_argument("--size", type=int, default=None,
+                       help="GEMM size override (if the sweep takes one)")
+    p_sur.add_argument("--model", default=None,
+                       help="ViT model override (if the sweep takes one)")
+    p_sur.add_argument("--dim-scale", type=float, default=None,
+                       help="ViT dim-scale override "
+                            "(if the sweep takes one)")
+    p_sur.add_argument("--fraction", type=float, default=0.5,
+                       help="xval: fraction of the grid to simulate "
+                            "(stratified every-Nth sample; default 0.5)")
+    p_sur.add_argument("--out", default=None, metavar="PATH",
+                       help="xval: write the calibration JSON here")
+    p_sur.add_argument("--calibration", default=None, metavar="PATH",
+                       help="estimate: apply a saved calibration")
+    p_sur.add_argument("--top", type=int, default=None,
+                       help="estimate: show only the N best points")
+    p_sur.add_argument("--workers", type=int, default=None,
+                       help="xval: process count for uncached points")
+    p_sur.add_argument("--cache-dir", default=None,
+                       help="xval: result cache location")
+    p_sur.add_argument("--no-cache", action="store_true",
+                       help="xval: always re-simulate the sample")
+    p_sur.set_defaults(func=cmd_surrogate)
 
     p_orch = sub.add_parser(
         "orchestrate",

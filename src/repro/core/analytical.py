@@ -14,8 +14,15 @@ the paper reports W_GEMM > 34.31% (2 GB/s), 10.16% (8 GB/s) and 4.27%
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
+
+#: Shared tolerance for the crossover/threshold helpers.  The models are
+#: linear, so ratios that differ only by floating-point noise must not
+#: flip a threshold between "exists" and "dominates everywhere" -- every
+#: comparison against 1.0 (or between the two curves) uses this epsilon.
+EPSILON = 1e-9
 
 
 @dataclass(frozen=True)
@@ -33,16 +40,33 @@ class TradeoffModel:
     t_other: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.gemm_unit_time < 0 or self.nongemm_unit_time < 0:
-            raise ValueError("unit times must be non-negative")
+        for label, value in (
+            ("gemm_unit_time", self.gemm_unit_time),
+            ("nongemm_unit_time", self.nongemm_unit_time),
+            ("t_other", self.t_other),
+        ):
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                raise ValueError(f"{label} must be a finite number, got {value!r}")
+            if value < 0:
+                raise ValueError(f"{label} must be non-negative, got {value}")
 
     @classmethod
     def from_measured(
         cls, name: str, gemm_ticks: float, nongemm_ticks: float,
         other_ticks: float = 0.0,
     ) -> "TradeoffModel":
-        """Calibrate from a measured run's per-class times."""
-        return cls(name, gemm_ticks, nongemm_ticks, other_ticks)
+        """Calibrate from a measured run's per-class times.
+
+        Inputs are validated exactly like direct construction (finite,
+        non-negative); tick counts are coerced to float so integer
+        measurements and analytical estimates feed one code path.
+        """
+        return cls(
+            name,
+            float(gemm_ticks),
+            float(nongemm_ticks),
+            float(other_ticks),
+        )
 
     def overall_time(self, nongemm_fraction: float) -> float:
         """Total time for a workload with the given non-GEMM share.
@@ -85,11 +109,16 @@ def devmem_threshold(
     Both models are linear in ``w``, so the crossing is exact:
     ``delta(w) = (devmem - pcie)(w)`` changes sign at most once.
     """
-    delta0 = devmem.overall_time(0.0) - pcie.overall_time(0.0)
-    delta1 = devmem.overall_time(1.0) - pcie.overall_time(1.0)
-    if delta0 <= 0 and delta1 <= 0:
+    t_d0, t_p0 = devmem.overall_time(0.0), pcie.overall_time(0.0)
+    t_d1, t_p1 = devmem.overall_time(1.0), pcie.overall_time(1.0)
+    # Ties within floating-point noise count as "DevMem wins": the
+    # tolerance is relative to the magnitudes being compared.
+    tol = EPSILON * max(t_d0, t_p0, t_d1, t_p1, 1.0)
+    delta0 = t_d0 - t_p0
+    delta1 = t_d1 - t_p1
+    if delta0 <= tol and delta1 <= tol:
         return 0.0  # DevMem always wins
-    if delta0 > 0 and delta1 > 0:
+    if delta0 > tol and delta1 > tol:
         return None  # PCIe always wins
     # Linear interpolation for the root of delta(w) = 0.
     w_cross = delta0 / (delta0 - delta1)
@@ -146,9 +175,9 @@ def nongemm_time_threshold(
         raise ValueError("PCIe reference times must be positive")
     r_g = devmem.gemm_unit_time / pcie.gemm_unit_time
     r_ng = devmem.nongemm_unit_time / pcie.nongemm_unit_time
-    if r_g >= 1.0:
-        return None if r_ng >= 1.0 else 1.0
-    if r_ng <= 1.0:
+    if r_g >= 1.0 - EPSILON:
+        return None if r_ng >= 1.0 - EPSILON else 1.0
+    if r_ng <= 1.0 + EPSILON:
         return 1.0
     # Solve (1 - w) r_g + w r_ng = 1.
     return (1.0 - r_g) / (r_ng - r_g)

@@ -1,0 +1,131 @@
+"""Pruning filters over surrogate estimates.
+
+Both filters keep a *superset* of the exact answer, controlled by a
+safety ``margin``:
+
+* :func:`top_k` keeps the k best points (stable order breaks exact
+  ties), plus -- when the margin is positive -- every point whose
+  objective is within ``(1 + margin)`` of the k-th best value, so
+  near-ties at the cutoff survive instead of being dropped by estimate
+  noise;
+* :func:`pareto_front` keeps every point not *margin-dominated* -- a
+  point is pruned only if some other point beats it by more than the
+  margin factor in **every** objective.
+
+Both are monotone in the margin: a larger margin never yields fewer
+survivors (the property the hypothesis suite pins).  The margin to use
+is not a guess -- :mod:`repro.surrogate.xval` measures the surrogate's
+p95 relative error, and the ladder refuses to prune with a margin below
+it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.surrogate.model import OBJECTIVES, SurrogateEstimate
+
+
+def parse_top_k(value, total: int) -> int:
+    """Resolve a top-K request: an int, ``"12"``, or ``"10%"`` of total."""
+    if isinstance(value, str):
+        text = value.strip()
+        if text.endswith("%"):
+            percent = float(text[:-1])
+            if not 0 < percent <= 100:
+                raise ValueError(
+                    f"top-K percentage must be in (0, 100], got {value!r}"
+                )
+            # A tiny percentage of a small grid keeps one point, not zero.
+            k = max(1, round(total * percent / 100.0))
+        else:
+            k = int(text)
+    else:
+        k = int(value)
+    if k < 1:
+        raise ValueError(f"top-K must keep at least one point, got {value!r}")
+    return max(1, min(k, total))
+
+
+def top_k(
+    estimates: Sequence[SurrogateEstimate],
+    k: int,
+    objective: str = "ticks",
+    margin: float = 0.0,
+) -> List[SurrogateEstimate]:
+    """The k best points, plus near-ties within ``(1 + margin)``.
+
+    Exactly k points survive at ``margin=0`` (exact ties break by grid
+    order); a positive margin additionally keeps every point within
+    ``(1 + margin)`` of the k-th smallest objective.  Output preserves
+    grid order.
+    """
+    _validate_margin(margin)
+    if k < 1:
+        raise ValueError(f"top-K must keep at least one point, got {k}")
+    if k >= len(estimates):
+        return list(estimates)
+    values = [e.objective(objective) for e in estimates]
+    order = sorted(range(len(estimates)), key=lambda i: (values[i], i))
+    keep = set(order[:k])
+    if margin > 0:
+        limit = values[order[k - 1]] * (1.0 + margin)
+        keep.update(i for i, v in enumerate(values) if v <= limit)
+    return [estimates[i] for i in sorted(keep)]
+
+
+def pareto_front(
+    estimates: Sequence[SurrogateEstimate],
+    objectives: Sequence[str] = ("ticks", "bytes_on_wire"),
+    margin: float = 0.0,
+) -> List[SurrogateEstimate]:
+    """Points not margin-dominated in the given objectives (all minimized).
+
+    ``q`` margin-dominates ``p`` iff ``q_i * (1 + margin) < p_i`` for
+    every objective ``i``.  Checking each point against the classic
+    (margin-0) front suffices: any margin-dominator is itself weakly
+    dominated by a front member, which then also margin-dominates.
+    """
+    _validate_margin(margin)
+    for name in objectives:
+        if name not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {name!r}; known: {OBJECTIVES}"
+            )
+    if not objectives:
+        raise ValueError("need at least one objective")
+    points = [
+        tuple(e.objective(name) for name in objectives) for e in estimates
+    ]
+    front = _strict_front(points)
+    factor = 1.0 + margin
+    return [
+        e
+        for e, p in zip(estimates, points)
+        if not any(_dominates(q, p, factor) for q in front)
+    ]
+
+
+def _dominates(q: Tuple, p: Tuple, factor: float) -> bool:
+    return all(q_i * factor < p_i for q_i, p_i in zip(q, p))
+
+
+def _strict_front(points: Sequence[Tuple]) -> List[Tuple]:
+    """The classic Pareto front of unique objective vectors.
+
+    In lexicographic order any dominator of a point precedes it, so a
+    single pass with an incremental front is exact.
+    """
+    front: List[Tuple] = []
+    for p in sorted(set(points)):
+        if not any(
+            all(q_i <= p_i for q_i, p_i in zip(q, p)) and q != p
+            for q in front
+        ):
+            front.append(p)
+    return front
+
+
+def _validate_margin(margin: float) -> None:
+    if margin < 0:
+        raise ValueError(f"margin must be non-negative, got {margin}")

@@ -28,6 +28,8 @@ Registered experiments:
 ``topo-contention``  extension: active devices behind a shared uplink
 ``topo-p2p``         extension: P2P vs host-bounce device transfers
 ``topo-switch-depth`` extension: switch-tier depth 1..3
+``roofline``         Fig. 2 -- compute-time sweep on the sweep engine
+``surrogate-xval``   stratified sample for surrogate calibration
 ==================== ==================================================
 """
 
@@ -470,3 +472,46 @@ def ext_cxl_vit_sweep(vit_model: Optional[ViTConfig] = None) -> SweepSpec:
         for key, config in configs.items()
     ]
     return SweepSpec(name="ext-cxl-vit", points=points, runner="vit")
+
+
+# ----------------------------------------------------------------------
+# Roofline (Fig. 2) and surrogate calibration
+# ----------------------------------------------------------------------
+@register_sweep("roofline")
+def roofline_reg_sweep(
+    base: Optional[SystemConfig] = None,
+    size: int = 64,
+    compute_ticks: Optional[Tuple[int, ...]] = None,
+) -> SweepSpec:
+    """Fig. 2: per-tile compute-time sweep at fixed link bandwidth.
+
+    The same grid :func:`repro.core.roofline.roofline_sweep` wraps --
+    registering it here buys caching, ``--shard`` and orchestration.
+    """
+    from repro.core.roofline import DEFAULT_COMPUTE_TICKS, roofline_points
+
+    config = base or SystemConfig.pcie_8gb()
+    values = compute_ticks or DEFAULT_COMPUTE_TICKS
+    return SweepSpec(
+        name="roofline", points=roofline_points(config, size, values)
+    )
+
+
+@register_sweep("surrogate-xval")
+def surrogate_xval_sweep(
+    target: str = "fig6a-mem-bandwidth",
+    fraction: float = 0.5,
+    size: Optional[int] = None,
+) -> SweepSpec:
+    """Stratified sample of another sweep's grid, for calibration.
+
+    Simulating this sweep measures the analytical surrogate's error on
+    ``target``'s grid (see docs/SURROGATE.md); results share cache keys
+    with the full sweep, so the sample pre-warms a later ladder run.
+    """
+    from repro.surrogate.xval import stratified_sample
+    from repro.sweep.spec import build_sweep
+
+    kwargs = {} if size is None else {"size": size}
+    sample = stratified_sample(build_sweep(target, **kwargs), fraction)
+    return dataclasses.replace(sample, name="surrogate-xval")

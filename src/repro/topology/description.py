@@ -102,6 +102,16 @@ class TopologyDesc:
         """Number of switch tiers on the deepest endpoint's path."""
         return _depth(self.root)
 
+    def endpoint_depths(self) -> Tuple[int, ...]:
+        """Switch hops between each endpoint and the root complex.
+
+        Entry ``i`` corresponds to ``endpoints()[i]``.  An endpoint
+        attached directly to the root complex has depth 0.  This is the
+        fabric-description introspection the analytical surrogate tier
+        uses to price per-hop latency without compiling the fabric.
+        """
+        return tuple(_endpoint_depths(self.root, 0))
+
     def describe(self) -> str:
         return (
             f"topology: {self.num_endpoints} endpoint(s), "
@@ -126,6 +136,14 @@ def _depth(node: NodeDesc) -> int:
     if isinstance(node, EndpointDesc):
         return 0
     return 1 + max(_depth(child) for child in node.children)
+
+
+def _endpoint_depths(node: NodeDesc, depth: int) -> Iterator[int]:
+    if isinstance(node, EndpointDesc):
+        yield depth
+    else:
+        for child in node.children:
+            yield from _endpoint_depths(child, depth + 1)
 
 
 # ----------------------------------------------------------------------

@@ -65,6 +65,48 @@ class TestTradeoffModel:
     def test_negative_times_rejected(self):
         with pytest.raises(ValueError):
             TradeoffModel("x", -1.0, 1.0)
+        with pytest.raises(ValueError):
+            TradeoffModel("x", 1.0, 1.0, t_other=-0.5)
+
+    def test_non_finite_times_rejected(self):
+        with pytest.raises(ValueError):
+            TradeoffModel("x", float("nan"), 1.0)
+        with pytest.raises(ValueError):
+            TradeoffModel("x", 1.0, float("inf"))
+        with pytest.raises(ValueError):
+            TradeoffModel("x", 1.0, 1.0, t_other=float("nan"))
+
+    def test_from_measured_validates_and_coerces(self):
+        model = TradeoffModel.from_measured("x", 10, 20, other_ticks=5)
+        assert isinstance(model.gemm_unit_time, float)
+        assert model.overall_time(0.0) == 15.0
+        with pytest.raises(ValueError):
+            TradeoffModel.from_measured("x", float("nan"), 20)
+        with pytest.raises(ValueError):
+            TradeoffModel.from_measured("x", 10, -20)
+        with pytest.raises(ValueError):
+            TradeoffModel.from_measured("x", 10, 20, other_ticks=-1)
+
+    def test_degenerate_all_gemm_workload(self):
+        """A workload with no non-GEMM share only sees gemm_unit_time."""
+        fast_gemm = TradeoffModel("a", 1.0, 100.0, t_other=2.0)
+        slow_gemm = TradeoffModel("b", 5.0, 0.0, t_other=2.0)
+        assert fast_gemm.overall_time(0.0) == 3.0
+        assert slow_gemm.overall_time(0.0) == 7.0
+        # At the all-GEMM endpoint the non-GEMM columns are irrelevant.
+        zero_ng = TradeoffModel("c", 1.0, 0.0, t_other=2.0)
+        assert fast_gemm.overall_time(0.0) == zero_ng.overall_time(0.0)
+
+    def test_degenerate_all_nongemm_workload(self):
+        model = TradeoffModel("x", gemm_unit_time=0.0, nongemm_unit_time=4.0)
+        assert model.overall_time(1.0) == 4.0
+        assert model.overall_time(0.0) == 0.0
+
+    def test_threshold_tie_within_epsilon_is_dominance(self):
+        """Floating-point noise must not turn a tie into a crossing."""
+        devmem = TradeoffModel("d", 1.0, 2.0)
+        noisy = TradeoffModel("p", 1.0 + 1e-13, 2.0 - 1e-13)
+        assert devmem_threshold(devmem, noisy) == 0.0
 
     def test_sweep_is_linear(self):
         model = TradeoffModel("x", 10.0, 20.0)

@@ -6,7 +6,9 @@ Commands:
 * ``vit``      -- run ViT inference and print the GEMM/non-GEMM split,
 * ``sweep``    -- run any registered experiment sweep (all paper figures),
 * ``cache``    -- inspect or maintain the on-disk sweep result cache,
-* ``systems``  -- list the named system configurations.
+* ``systems``  -- list the named system configurations,
+* ``faults``   -- list or describe fault-injection presets
+  (``sweep --faults <preset>`` overlays one onto any sweep).
 
 Examples::
 
@@ -245,6 +247,23 @@ def _result_rows(report):
             )
             for key, r in results.items()
         ]
+    elif type(sample).__name__ == "ResilienceResult":
+        header = ["point", "done", "aborted", "makespan us", "p50 us",
+                  "max us", "goodput GB/s", "retries", "replays"]
+        rows = [
+            (
+                key,
+                f"{r.completed}/{r.transfers}",
+                r.aborted,
+                f"{r.seconds * 1e6:.1f}",
+                f"{_ticks_us(r.latency_p50):.1f}",
+                f"{_ticks_us(r.latency_max):.1f}",
+                f"{r.goodput_bytes_per_sec / 1e9:.2f}",
+                r.retries,
+                r.replays,
+            )
+            for key, r in results.items()
+        ]
     elif isinstance(sample, ViTResult):
         header = ["point", "total ms", "GEMM ms", "non-GEMM ms", "non-GEMM %"]
         rows = [
@@ -326,6 +345,22 @@ def cmd_sweep(args) -> int:
             specs = [build_sweep("pcie-bandwidth", base=base, size=size)]
         else:
             specs = [build_sweep("packet-size", base=base, size=size)]
+    if args.faults:
+        # Fault overlay: every point of every requested sweep runs under
+        # the named preset (docs/FAULTS.md).  The FaultSpec rides the
+        # config hash, so overlaid runs never alias fault-free cache
+        # entries.
+        from repro.faults.runner import apply_faults
+        from repro.faults.spec import fault_preset
+
+        try:
+            fault_spec = fault_preset(args.faults, seed=args.fault_seed)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
+        specs = [apply_faults(spec, fault_spec) for spec in specs]
+    elif args.fault_seed is not None:
+        print("note: --fault-seed applies with --faults only",
+              file=sys.stderr)
     if args.domains is not None and args.domains != 1:
         # Intra-point PDES: validate the partition against every point's
         # topology up front; infeasible requests die here with the
@@ -649,6 +684,36 @@ def cmd_orchestrate(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# faults
+# ----------------------------------------------------------------------
+def cmd_faults(args) -> int:
+    """``faults list`` / ``faults describe --preset <name>``."""
+    import inspect as _inspect
+
+    from repro.faults.spec import FAULT_PRESETS, fault_preset
+
+    if args.action == "list":
+        rows = []
+        for name in sorted(FAULT_PRESETS):
+            doc = (_inspect.getdoc(FAULT_PRESETS[name]) or "").splitlines()
+            rows.append((name, doc[0] if doc else ""))
+        print(format_table(
+            ["preset", "description"], rows,
+            title="fault presets (python -m repro sweep --faults <preset>)",
+        ))
+        return 0
+    if not args.preset:
+        raise SystemExit("faults describe requires --preset <name>")
+    try:
+        spec = fault_preset(args.preset, seed=args.seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    print(f"preset: {args.preset}")
+    print(spec.describe())
+    return 0
+
+
+# ----------------------------------------------------------------------
 # cache
 # ----------------------------------------------------------------------
 def cmd_cache(args) -> int:
@@ -773,6 +838,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="ladder: calibration JSON from 'surrogate "
                               "xval'; scales estimates and refuses to "
                               "prune when measured p95 error > margin")
+    p_sweep.add_argument("--faults", default=None, metavar="PRESET",
+                         help="overlay a fault-injection preset onto "
+                              "every point (see 'faults list'; "
+                              "docs/FAULTS.md)")
+    p_sweep.add_argument("--fault-seed", type=int, default=None,
+                         help="reseed the fault preset's deterministic "
+                              "injection streams (with --faults)")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_sur = sub.add_parser(
@@ -894,6 +966,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="process-pool width inside each worker "
                              "(default 1: parallelism comes from shards)")
     p_orch.set_defaults(func=cmd_orchestrate)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="list or describe deterministic fault-injection presets "
+             "(docs/FAULTS.md)",
+    )
+    p_faults.add_argument("action", choices=["list", "describe"],
+                          nargs="?", default="list")
+    p_faults.add_argument("--preset", default=None,
+                          help="describe: preset name (see 'faults list')")
+    p_faults.add_argument("--seed", type=int, default=None,
+                          help="describe: show the preset reseeded")
+    p_faults.set_defaults(func=cmd_faults)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or maintain the sweep result cache"

@@ -23,6 +23,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from repro.accel.controller import GemmJob
+from repro.faults.spec import DeviceLostError
 from repro.accel.wrapper import (
     ACCESYS_DEVICE_ID,
     ACCESYS_VENDOR_ID,
@@ -101,6 +102,11 @@ class AccelDriver(SimObject):
         self.page_table = page_table
         self.device_index = device_index
         self.slot: Optional[int] = None
+        #: Endpoint stall/crash schedule
+        #: (:class:`repro.faults.injector.EndpointFaultState`); attached
+        #: by the system's fault model, ``None`` on fault-free runs.
+        #: Like the probe binding it is topology, so it survives reset.
+        self.fault_state = None
         self._iova_cursor = self.IOVA_BASE + device_index * self.IOVA_WINDOW
         self._buffers: Dict[str, dict] = {}
         self._completion_cb = None
@@ -130,6 +136,13 @@ class AccelDriver(SimObject):
         self.slot = slot
         self.wrapper.set_msi_handler(self._on_msi)
         return True
+
+    @property
+    def device_lost(self) -> bool:
+        """Whether this driver's device has crashed off the bus."""
+        return self.fault_state is not None and self.fault_state.crashed(
+            self.now
+        )
 
     @property
     def bar0(self) -> AddrRange:
@@ -228,9 +241,21 @@ class AccelDriver(SimObject):
         a_data: Optional[np.ndarray] = None,
         b_data: Optional[np.ndarray] = None,
     ) -> None:
-        """Program the job registers over MMIO and ring the doorbell."""
+        """Program the job registers over MMIO and ring the doorbell.
+
+        Raises :class:`~repro.faults.spec.DeviceLostError` when the
+        device has crashed off the bus -- the MMIO writes would vanish
+        into the void and the completion interrupt would never arrive,
+        so refusing loudly is the graceful-degradation path.
+        """
         if self.slot is None:
             raise RuntimeError("driver not probed; call probe() first")
+        if self.device_lost:
+            raise DeviceLostError(
+                f"{self.name}: accelerator {self.device_index} is lost "
+                f"(crashed at tick {self.fault_state.fault.crash_at}); "
+                f"refusing to launch"
+            )
         self._launches.inc()
         self._completion_cb = on_complete
         if a_data is not None and b_data is not None:

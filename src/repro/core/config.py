@@ -31,6 +31,7 @@ from typing import Optional, Tuple
 from repro.accel.systolic import SystolicParams
 from repro.cache.cache import CacheParams
 from repro.core.access_modes import AccessMode
+from repro.faults.spec import FaultSpec
 from repro.interconnect.pcie.link import PCIeConfig
 from repro.memory.dram.devices import DDR3_1600, DDR4_2400, HBM2
 from repro.memory.dram.timings import DRAMTimings
@@ -109,6 +110,12 @@ class SystemConfig:
     #: endpoint domains advanced in lockstep quantum rounds.  Rides
     #: ``to_canonical()`` like every field, so cache keys stay honest.
     domains: int = 1
+    #: Deterministic fault-injection model (see repro.faults and
+    #: docs/FAULTS.md).  ``None`` -- the default everywhere -- keeps the
+    #: fault-free fast path bit-identical to a tree without the fault
+    #: subsystem; a spec rides ``to_canonical()``/``stable_hash()`` so a
+    #: faulty run can never alias a fault-free cache entry.
+    faults: Optional[FaultSpec] = None
 
     # ------------------------------------------------------------------
     # Derived
@@ -300,6 +307,10 @@ class SystemConfig:
         if topo is None or self.interconnect != "pcie":
             return 1
         return min(self.domains, 1 + topo.num_endpoints)
+
+    def with_faults(self, faults: Optional[FaultSpec]) -> "SystemConfig":
+        """Copy with a fault-injection model (``None`` removes it)."""
+        return self.with_(faults=faults)
 
     def with_packet_size(self, packet_size: int) -> "SystemConfig":
         """Copy with a different request packet size (Fig. 4 sweeps)."""

@@ -400,6 +400,18 @@ class AcceSysSystem:
         )
 
         # ------------------------------------------------------------
+        # Fault injection (repro.faults): attach the compiled fault
+        # model to links, DMA engines and drivers.  Fault-free configs
+        # never touch this path -- every hook stays a None check.
+        # ------------------------------------------------------------
+        self.fault_model = None
+        if config.faults is not None:
+            from repro.faults.injector import FaultModel
+
+            self.fault_model = FaultModel(config.faults)
+            self.fault_model.attach(self)
+
+        # ------------------------------------------------------------
         # Domain partition (intra-point PDES)
         # ------------------------------------------------------------
         if self.domain_plan is not None:

@@ -48,6 +48,9 @@ class DMADescriptor:
     packet_size: Optional[int] = None
     #: Filled by the engine: completion tick.
     completed_at: Optional[int] = field(default=None, compare=False)
+    #: Filled by the engine when the transfer aborts (completion timeout
+    #: with retries exhausted, device lost); ``None`` means success.
+    error: Optional[str] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.size <= 0:

@@ -43,7 +43,7 @@ class _Work:
 
     __slots__ = (
         "descriptor", "channel", "size", "is_read", "template",
-        "next_offset", "outstanding", "on_complete",
+        "next_offset", "outstanding", "on_complete", "failed",
     )
 
     def __init__(
@@ -67,6 +67,30 @@ class _Work:
         self.next_offset = 0
         self.outstanding = 0
         self.on_complete = on_complete
+        self.failed = False
+
+
+class _SegmentState:
+    """In-flight bookkeeping for one guarded segment (faulted runs only).
+
+    ``settled`` latches on the first outcome (completion, or abort after
+    the retry budget/limit) so a late original completion racing a retry
+    -- or arriving after an abort -- can never double-retire the tag.
+    """
+
+    __slots__ = (
+        "addr", "size", "attempts", "settled", "retrying", "timeout_event",
+        "issued_at",
+    )
+
+    def __init__(self, addr: int, size: int, issued_at: int) -> None:
+        self.addr = addr
+        self.size = size
+        self.attempts = 0
+        self.settled = False
+        self.retrying = False
+        self.timeout_event = None
+        self.issued_at = issued_at
 
 
 class _ChannelState:
@@ -114,12 +138,48 @@ class DMAEngine(SimObject):
         self._bytes_written = self.stats.scalar("bytes_written", "device-to-host bytes")
         self._latency = self.stats.histogram("segment_ticks", "per-segment latency")
 
+        # Fault machinery (repro.faults): completion timeouts with
+        # exponential-backoff retry and endpoint stall/crash handling.
+        # Everything stays None/untouched -- including the fault stats,
+        # which would change snapshot shapes -- until a fault model calls
+        # configure_faults(); the issue path checks a single attribute.
+        self._fault_policy = None
+        self._endpoint_fault = None
+        self._channel_retries: List[int] = []
+        self._timeouts = None
+        self._retries = None
+        self._aborted = None
+
+    def configure_faults(self, policy, endpoint_fault=None) -> None:
+        """Arm completion timeouts (and optional endpoint stall/crash).
+
+        ``policy`` is a :class:`repro.faults.spec.RetryPolicy`;
+        ``endpoint_fault`` an
+        :class:`~repro.faults.injector.EndpointFaultState` for this
+        engine's endpoint.  Called once at system build; the armed state
+        survives ``reset_state`` (it is configuration, not run state).
+        """
+        self._fault_policy = policy
+        self._endpoint_fault = endpoint_fault
+        self._channel_retries = [0] * self.num_channels
+        self._timeouts = self.stats.scalar(
+            "fault_timeouts", "segment completion timeouts"
+        )
+        self._retries = self.stats.scalar(
+            "fault_retries", "segments reissued after a timeout"
+        )
+        self._aborted = self.stats.scalar(
+            "fault_aborted_descriptors", "descriptors aborted"
+        )
+
     def reset_state(self) -> None:
         super().reset_state()
         for channel in self._channels:
             channel.queue.clear()
         self._rr_next = 0
         self._tags_in_use = 0
+        if self._fault_policy is not None:
+            self._channel_retries = [0] * self.num_channels
 
     # ------------------------------------------------------------------
     # Submission
@@ -224,6 +284,10 @@ class DMAEngine(SimObject):
             # work being issued is by construction that queue's head.
             self._channels[work.channel].queue.popleft()
 
+        if self._fault_policy is not None:
+            self._send_guarded(work, txn, descriptor.addr + offset, size)
+            return
+
         def segment_done(done_txn: Transaction) -> None:
             now = self.sim.now
             done_txn.complete_tick = now
@@ -238,6 +302,122 @@ class DMAEngine(SimObject):
             self._pump()
 
         self.target.send(txn, segment_done)
+
+    # ------------------------------------------------------------------
+    # Guarded issue path (armed retry policy; see repro.faults)
+    # ------------------------------------------------------------------
+    def _send_guarded(self, work: _Work, txn: Transaction,
+                      addr: int, size: int) -> None:
+        """Issue one segment with a completion timeout armed.
+
+        On expiry the segment is reissued with exponentially backed-off
+        timeouts, up to the policy's retry limit and the per-channel
+        outstanding-retry budget; past either bound the whole descriptor
+        aborts: ``descriptor.error`` is set, remaining segments are
+        never cut, and the completion callback still fires so callers
+        observe the failure instead of hanging.  An endpoint in a
+        stall/crash window silently drops arriving completions -- the
+        timeout is then the only way forward, exactly as on real
+        hardware.
+        """
+        policy = self._fault_policy
+        endpoint = self._endpoint_fault
+        channel = work.channel
+        seg = _SegmentState(addr, size, self.sim.now)
+
+        def retire(now: int) -> None:
+            self._tags_in_use -= 1
+            work.outstanding -= 1
+            if work.outstanding == 0 and work.next_offset >= work.size:
+                descriptor = work.descriptor
+                descriptor.completed_at = now
+                if not work.failed:
+                    self._descriptors.inc()
+                if work.on_complete is not None:
+                    work.on_complete(descriptor)
+            self._pump()
+
+        def arrival(done_txn: Transaction) -> None:
+            now = self.sim.now
+            if seg.settled:
+                # Late completion of a superseded attempt (the original
+                # and a retry can both arrive) or of an aborted segment.
+                return
+            if endpoint is not None and endpoint.dropping(now):
+                # The endpoint is stalled/crashed: the completion is
+                # lost on the floor; the armed timeout takes it from here.
+                return
+            seg.settled = True
+            if seg.timeout_event is not None:
+                seg.timeout_event.cancel()
+                seg.timeout_event = None
+            if seg.retrying:
+                self._channel_retries[channel] -= 1
+            done_txn.complete_tick = now
+            self._latency.sample(now - seg.issued_at)
+            retire(now)
+
+        def abort() -> None:
+            now = self.sim.now
+            seg.settled = True
+            if seg.retrying:
+                self._channel_retries[channel] -= 1
+            descriptor = work.descriptor
+            if not work.failed:
+                work.failed = True
+                self._aborted.inc()
+                if endpoint is not None and endpoint.crashed(now):
+                    descriptor.error = (
+                        f"device lost: segment {seg.addr:#x}+{seg.size} "
+                        f"never completed ({seg.attempts + 1} attempt(s))"
+                    )
+                else:
+                    descriptor.error = (
+                        f"completion timeout: segment {seg.addr:#x}"
+                        f"+{seg.size} after {seg.attempts + 1} attempt(s)"
+                    )
+                if work.next_offset < work.size:
+                    # Still partially queued: by construction the head of
+                    # its channel; drop it so no further segments are cut.
+                    queue = self._channels[channel].queue
+                    if queue and queue[0] is work:
+                        queue.popleft()
+                    work.next_offset = work.size
+            retire(now)
+
+        def timeout_fired() -> None:
+            seg.timeout_event = None
+            if seg.settled:
+                return
+            self._timeouts.inc()
+            can_retry = seg.attempts < policy.max_retries
+            if can_retry and not seg.retrying:
+                if self._channel_retries[channel] < policy.retry_budget:
+                    seg.retrying = True
+                    self._channel_retries[channel] += 1
+                else:
+                    can_retry = False
+            if not can_retry:
+                abort()
+                return
+            seg.attempts += 1
+            self._retries.inc()
+            retry_txn = work.template.clone_for_segment(
+                seg.addr, seg.size, self.sim.now
+            )
+            arm()
+            self.target.send(retry_txn, arrival)
+
+        def arm() -> None:
+            timeout = policy.completion_timeout * (
+                policy.backoff ** seg.attempts
+            )
+            seg.timeout_event = self.sim.schedule(
+                timeout, timeout_fired, name=self.name
+            )
+
+        arm()
+        self.target.send(txn, arrival)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,48 @@
+"""Deterministic fault injection for the simulated interconnect.
+
+``repro.faults`` adds a seeded, fully reproducible fault model on top of
+the PCIe fabric: TLP corruption with ACK/NAK replay, link retraining
+windows, persistent lane down-training, endpoint stall/crash -- plus the
+retry/timeout machinery (DMA completion timeouts with exponential
+backoff, device-lost surfacing in the driver) that lets the modeled
+system degrade gracefully instead of hanging.  See docs/FAULTS.md.
+
+The sweep-facing :class:`ResilienceRunner` lives in
+:mod:`repro.faults.runner` and is imported separately (by the sweep
+registry and the CLI) to keep this package importable from the driver
+layer without a cycle.
+"""
+
+from repro.faults.injector import (
+    EndpointFaultState,
+    FaultModel,
+    LinkFaultState,
+)
+from repro.faults.prng import draw64, stream_for, uniform
+from repro.faults.spec import (
+    FAULT_PRESETS,
+    DeviceLostError,
+    EndpointFault,
+    FaultSpec,
+    LinkFaults,
+    RetryPolicy,
+    fault_preset,
+    register_preset,
+)
+
+__all__ = [
+    "FAULT_PRESETS",
+    "DeviceLostError",
+    "EndpointFault",
+    "EndpointFaultState",
+    "FaultModel",
+    "FaultSpec",
+    "LinkFaultState",
+    "LinkFaults",
+    "RetryPolicy",
+    "draw64",
+    "fault_preset",
+    "register_preset",
+    "stream_for",
+    "uniform",
+]

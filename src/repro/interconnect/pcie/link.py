@@ -178,6 +178,10 @@ class PCIeChannel(SimObject):
         )
         self._wire_free_at = 0
         self._last_arrival = 0
+        #: Fault-injection state (:class:`repro.faults.injector
+        #: .LinkFaultState`); attached by the system's fault model, None
+        #: on every fault-free run.
+        self.faults = None
 
         self._tlps = self.stats.scalar("tlps", "TLPs carried")
         self._payload_bytes = self.stats.scalar("payload_bytes", "payload carried")
@@ -190,6 +194,8 @@ class PCIeChannel(SimObject):
         super().reset_state()
         self._wire_free_at = 0
         self._last_arrival = 0
+        if self.faults is not None:
+            self.faults.reset()
 
     # ------------------------------------------------------------------
     # Timing
@@ -219,6 +225,11 @@ class PCIeChannel(SimObject):
         occupancy = max(serialize, n_tlps * self._max_occupancy)
 
         start = max(self.now, self._wire_free_at)
+        if self.faults is not None:
+            stall, occupancy = self.faults.adjust(
+                start, occupancy, n_tlps, tlp_wire_ticks
+            )
+            start += stall
         self._wire_free_at = start + occupancy
 
         # Store-and-forward: each hop adds its latency plus one TLP

@@ -27,10 +27,22 @@ import os
 import shlex
 import subprocess
 import sys
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set
 
 WORKERS_SUBDIR = "workers"
+
+#: Attempts per worker launch before the OSError propagates.  The
+#: transient failures worth riding out (EAGAIN from a momentarily full
+#: process table, a busy log file on a network filesystem) clear within
+#: milliseconds; anything persistent should fail fast and loudly.
+SPAWN_RETRY_LIMIT = 3
+
+#: Base back-off delay between launch attempts, doubled each retry
+#: (0.05 s, 0.1 s).  Deliberately jitter-free: tests and reruns observe
+#: identical retry schedules.
+SPAWN_BACKOFF_SECONDS = 0.05
 
 
 def worker_command(
@@ -68,6 +80,9 @@ class _ProcessBackend:
         self._procs: Dict[str, subprocess.Popen] = {}
         self._spawned = 0
         self._logs: List = []
+        #: Launch attempts that failed transiently and were retried;
+        #: surfaced in the run report's provenance.
+        self.spawn_retries = 0
 
     # -- liveness ------------------------------------------------------
     def live_owners(self) -> Set[str]:
@@ -96,15 +111,34 @@ class _ProcessBackend:
     # -- lifecycle -----------------------------------------------------
     def _spawn_proc(self, run_dir, cmd: Sequence[str], worker_id: str,
                     env: Optional[dict] = None) -> None:
+        """Launch one worker, riding out transient ``OSError`` s.
+
+        Bounded exponential back-off (:data:`SPAWN_RETRY_LIMIT`
+        attempts, :data:`SPAWN_BACKOFF_SECONDS` base, doubling,
+        jitter-free so the schedule is deterministic); the final
+        attempt's failure propagates.  Each retried attempt counts in
+        :attr:`spawn_retries` for the run report's provenance.
+        """
         log_dir = Path(run_dir) / WORKERS_SUBDIR
         log_dir.mkdir(parents=True, exist_ok=True)
-        log = open(log_dir / f"{worker_id}.log", "ab")
-        self._logs.append(log)
-        self._procs[worker_id] = subprocess.Popen(
-            list(cmd), stdout=log, stderr=subprocess.STDOUT,
-            env=env if env is not None else _worker_env(),
-        )
-        self._spawned += 1
+        env = env if env is not None else _worker_env()
+        for attempt in range(SPAWN_RETRY_LIMIT):
+            log = open(log_dir / f"{worker_id}.log", "ab")
+            try:
+                proc = subprocess.Popen(
+                    list(cmd), stdout=log, stderr=subprocess.STDOUT, env=env,
+                )
+            except OSError:
+                log.close()
+                if attempt + 1 >= SPAWN_RETRY_LIMIT:
+                    raise
+                self.spawn_retries += 1
+                time.sleep(SPAWN_BACKOFF_SECONDS * (2 ** attempt))
+                continue
+            self._logs.append(log)
+            self._procs[worker_id] = proc
+            self._spawned += 1
+            return
 
     def shutdown(self) -> None:
         """Terminate stragglers and release log handles."""
@@ -257,6 +291,9 @@ class SlurmBackend:
         self.submit = submit
         self.inner_workers = inner_workers
         self.job_id: str = ""
+        #: Slurm submission is one sbatch call, not per-worker spawns;
+        #: the attribute exists so provenance reporting is uniform.
+        self.spawn_retries = 0
 
     def describe(self) -> str:
         mode = "submitted" if self.submit else "script only"

@@ -223,6 +223,7 @@ def _merge_and_verify(
     manifest: RunManifest,
     specs,
     leases: Dict[int, ShardLease],
+    backend=None,
 ) -> dict:
     """Merge shard records, cross-check against a cached serial replay,
     write and return the combined ``report.json`` payload."""
@@ -291,6 +292,9 @@ def _merge_and_verify(
         #: Points the final replay had to simulate itself -- 0 unless a
         #: worker lost a race with cache eviction; always reported.
         "replay_simulated": replay_simulated,
+        #: Transiently failed worker launches the backend retried
+        #: (see repro.orchestrate.backends._ProcessBackend._spawn_proc).
+        "spawn_retries": int(getattr(backend, "spawn_retries", 0) or 0),
         "shard_provenance": [
             {
                 "index": lease.index,
@@ -342,7 +346,8 @@ def orchestrate_run(
         )
     finally:
         backend.shutdown()
-    payload = _merge_and_verify(run_dir, manifest, specs, leases)
+    payload = _merge_and_verify(run_dir, manifest, specs, leases,
+                                backend=backend)
     log(f"merged report written to {run_dir / REPORT_NAME} "
         f"({payload['simulated_points']} simulated, "
         f"{payload['replayed_points']} replayed from cache)")

@@ -140,10 +140,29 @@ TMP_SUFFIX = ".part"
 STALE_TMP_SECONDS = 3600.0
 
 
+def _fsync_dir(path: Path) -> None:
+    """Best-effort directory fsync so a rename survives power loss.
+
+    Some filesystems refuse ``open``/``fsync`` on directories; losing
+    durability there is acceptable, silently losing the rename on
+    filesystems that need it is not.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_json(path: os.PathLike, payload, *,
                       indent: Optional[int] = None,
                       sort_keys: bool = True) -> None:
-    """Whole-file atomic JSON write: unique temp file + ``os.replace``.
+    """Whole-file atomic durable JSON write: temp file + ``os.replace``.
 
     The single writer-side primitive behind the cache, lease files, run
     manifests and reports.  The temp name is unique per write
@@ -151,6 +170,12 @@ def atomic_write_json(path: os.PathLike, payload, *,
     steal each other's in-flight file -- the last atomic replace wins
     and neither writer crashes.  On any failure the temp file is
     unlinked, never left masquerading as progress.
+
+    The temp file is flushed and fsynced *before* the rename -- without
+    it a crash shortly after ``os.replace`` can leave the final name
+    pointing at zero-length data, which readers would see as a corrupt
+    cache entry rather than a missing one.  The directory fsync after
+    the rename is best-effort (see :func:`_fsync_dir`).
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -160,6 +185,8 @@ def atomic_write_json(path: os.PathLike, payload, *,
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=indent, sort_keys=sort_keys)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -167,6 +194,7 @@ def atomic_write_json(path: os.PathLike, payload, *,
         except OSError:
             pass
         raise
+    _fsync_dir(path.parent)
 
 
 class ResultCache:

@@ -30,6 +30,10 @@ Registered experiments:
 ``topo-switch-depth`` extension: switch-tier depth 1..3
 ``roofline``         Fig. 2 -- compute-time sweep on the sweep engine
 ``surrogate-xval``   stratified sample for surrogate calibration
+``resilience-error-rate``   goodput vs per-TLP corruption rate
+``resilience-retrain-storm`` latency tail vs uplink retrain duty cycle
+``resilience-slow-link``    one down-trained endpoint in a cluster
+``resilience-crash``        device-crash blast radius across a cluster
 ==================== ==================================================
 """
 
@@ -495,6 +499,161 @@ def roofline_reg_sweep(
     return SweepSpec(
         name="roofline", points=roofline_points(config, size, values)
     )
+
+
+# ----------------------------------------------------------------------
+# Resilience extension (repro.faults; docs/FAULTS.md)
+# ----------------------------------------------------------------------
+def _resilience_spec(name, points) -> SweepSpec:
+    # The "resilience" runner registers lazily on first resolution
+    # (LAZY_RUNNER_MODULES), so building the spec does not pull the
+    # fault subsystem into the default sweep import footprint.
+    return SweepSpec(name=name, points=points, runner="resilience")
+
+
+@register_sweep("resilience-error-rate")
+def resilience_error_rate_sweep(
+    size_bytes: int = 65536,
+    transfers: int = 8,
+    rates: Tuple[float, ...] = (0.0, 1e-4, 1e-3, 1e-2),
+    seed: int = 7,
+) -> SweepSpec:
+    """Goodput vs per-TLP corruption rate on the point-to-point fabric.
+
+    Rate 0.0 is the fault-free control point (``faults=None``, so it
+    shares cache entries with any other fault-free run of the same
+    config); each higher rate inflates wire occupancy with ACK/NAK
+    replays and the goodput column degrades accordingly.
+    """
+    from repro.faults.spec import FaultSpec, LinkFaults, RetryPolicy
+
+    base = SystemConfig.pcie_2gb()
+    points = []
+    for rate in rates:
+        config = base
+        if rate > 0.0:
+            config = base.with_faults(FaultSpec(
+                seed=seed,
+                links=(LinkFaults(link="*", corrupt_rate=rate),),
+                retry=RetryPolicy(),
+            ))
+        points.append(SweepPoint(
+            key=rate, config=config,
+            params={"size_bytes": size_bytes, "transfers": transfers},
+        ))
+    return _resilience_spec("resilience-error-rate", points)
+
+
+@register_sweep("resilience-retrain-storm")
+def resilience_retrain_storm_sweep(
+    size_bytes: int = 65536,
+    transfers: int = 8,
+    storms: Tuple[Tuple[int, int], ...] = ((100, 5), (100, 20), (50, 20)),
+    seed: int = 7,
+) -> SweepSpec:
+    """Latency tail vs uplink retrain duty cycle.
+
+    ``storms`` are ``(period_us, duration_us)`` pairs: the shared ``up``
+    link retrains ``duration`` out of every ``period`` microseconds.
+    Transfers unlucky enough to hit a window stall until it closes, so
+    ``latency max`` stretches with the duty cycle while ``latency p50``
+    moves far less -- the tail-latency signature of retrain storms.
+    """
+    from repro.faults.spec import FaultSpec, LinkFaults, RetryPolicy
+    from repro.sim.ticks import us
+
+    base = SystemConfig.pcie_2gb()
+    points = [
+        SweepPoint(
+            key=(period, duration),
+            config=base.with_faults(FaultSpec(
+                seed=seed,
+                links=(LinkFaults(link="*.up", retrain_period=us(period),
+                                  retrain_duration=us(duration)),),
+                retry=RetryPolicy(),
+            )),
+            params={"size_bytes": size_bytes, "transfers": transfers},
+        )
+        for period, duration in storms
+    ]
+    return _resilience_spec("resilience-retrain-storm", points)
+
+
+@register_sweep("resilience-slow-link")
+def resilience_slow_link_sweep(
+    size_bytes: int = 32768,
+    transfers: int = 8,
+    cluster: int = 4,
+    factors: Tuple[int, ...] = (1, 4, 16),
+    seed: int = 7,
+) -> SweepSpec:
+    """One endpoint's lanes down-train mid-run in a switched cluster.
+
+    Factor 1 is the fault-free control; higher factors divide endpoint
+    0's link bandwidth from 20 us on while the other ``cluster - 1``
+    devices run clean.  Mild down-training hides behind shared-uplink
+    contention (the slow endpoint still keeps up with its fair share);
+    past that the makespan is dragged out by the one slow wire while the
+    p50 latency -- dominated by the clean devices -- barely moves.
+    """
+    from repro.faults.spec import FaultSpec, LinkFaults, RetryPolicy
+    from repro.sim.ticks import us
+    from repro.topology import flat_topology
+
+    base = SystemConfig.pcie_2gb().with_topology(flat_topology(cluster))
+    points = []
+    for factor in factors:
+        config = base
+        if factor > 1:
+            config = base.with_faults(FaultSpec(
+                seed=seed,
+                links=(LinkFaults(link="*.ep0.*", downtrain_at=us(20),
+                                  downtrain_factor=factor),),
+                retry=RetryPolicy(),
+            ))
+        points.append(SweepPoint(
+            key=factor, config=config,
+            params={"size_bytes": size_bytes, "transfers": transfers},
+        ))
+    return _resilience_spec("resilience-slow-link", points)
+
+
+@register_sweep("resilience-crash")
+def resilience_crash_sweep(
+    size_bytes: int = 32768,
+    transfers: int = 8,
+    cluster: int = 4,
+    crash_ticks_us: Tuple[Optional[int], ...] = (None, 10, 50),
+    seed: int = 7,
+) -> SweepSpec:
+    """Device-crash blast radius: one endpoint dies, the rest carry on.
+
+    ``None`` is the no-crash control.  When endpoint 0 crashes its
+    in-flight transfers lose their completions, burn through the retry
+    budget and abort with ``device lost`` errors, while the surviving
+    ``cluster - 1`` devices finish their share -- the ``aborted`` and
+    ``device lost`` columns bound the blast radius.
+    """
+    from repro.faults.spec import EndpointFault, FaultSpec, RetryPolicy
+    from repro.sim.ticks import us
+    from repro.topology import flat_topology
+
+    base = SystemConfig.pcie_2gb().with_topology(flat_topology(cluster))
+    points = []
+    for crash_us in crash_ticks_us:
+        config = base
+        key = "none" if crash_us is None else crash_us
+        if crash_us is not None:
+            config = base.with_faults(FaultSpec(
+                seed=seed,
+                endpoints=(EndpointFault(endpoint=0, crash_at=us(crash_us)),),
+                retry=RetryPolicy(),
+            ))
+        points.append(SweepPoint(
+            key=key, config=config,
+            params={"size_bytes": size_bytes, "transfers": transfers},
+        ))
+    return _resilience_spec("resilience-crash", points)
 
 
 @register_sweep("surrogate-xval")

@@ -80,7 +80,8 @@ class SweepSpec:
         keys = [point.key for point in self.points]
         if len(set(keys)) != len(keys):
             raise ValueError(f"sweep {self.name!r} has duplicate point keys")
-        if isinstance(self.runner, str) and self.runner not in RUNNERS:
+        if isinstance(self.runner, str) and self.runner not in RUNNERS \
+                and self.runner not in LAZY_RUNNER_MODULES:
             raise ValueError(
                 f"unknown runner {self.runner!r}; registered: {sorted(RUNNERS)}"
             )
@@ -122,6 +123,14 @@ class Runner:
 
 RUNNERS: Dict[str, Runner] = {}
 
+#: Runners that register on first use: name -> defining module.  Keeps
+#: optional subsystems (the fault-injection layer) out of the default
+#: sweep import footprint while letting freshly spawned worker
+#: processes resolve their runner names by string.
+LAZY_RUNNER_MODULES: Dict[str, str] = {
+    "resilience": "repro.faults.runner",
+}
+
 
 def _default_encode(result: Any) -> dict:
     """Codec for runners registered without one: dict records pass through."""
@@ -156,6 +165,10 @@ def resolve_runner(runner: Union[str, Callable, Runner]) -> Runner:
     if isinstance(runner, Runner):
         return runner
     if isinstance(runner, str):
+        if runner not in RUNNERS and runner in LAZY_RUNNER_MODULES:
+            import importlib
+
+            importlib.import_module(LAZY_RUNNER_MODULES[runner])
         return RUNNERS[runner]
     if callable(runner):
         return Runner(

@@ -183,6 +183,10 @@ class SwitchLink(SimObject):
         self._rr_next = 0
         self._busy = False
         self._last_arrival = 0
+        #: Fault-injection state (:class:`repro.faults.injector
+        #: .LinkFaultState`); attached by the system's fault model, None
+        #: on every fault-free run.
+        self.faults = None
 
         self._tlps = self.stats.scalar("tlps", "TLPs carried")
         self._payload_bytes = self.stats.scalar("payload_bytes", "payload carried")
@@ -203,6 +207,8 @@ class SwitchLink(SimObject):
         self._rr_next = 0
         self._busy = False
         self._last_arrival = 0
+        if self.faults is not None:
+            self.faults.reset()
 
     # ------------------------------------------------------------------
     # Submission and arbitration
@@ -263,6 +269,14 @@ class SwitchLink(SimObject):
         occupancy = max(serialize, n_tlps * tlp_occupancy)
 
         now = self.now
+        if self.faults is not None:
+            # The granted train holds the wire through any retrain stall:
+            # folding the stall into the occupancy blocks queued trains
+            # behind it exactly as a retraining link would.
+            stall, occupancy = self.faults.adjust(
+                now, occupancy, n_tlps, tlp_fill
+            )
+            occupancy += stall
         fill = (0 if skip_hop else self.hop_latency) + tlp_fill
         arrival = now + occupancy + fill
         if arrival < self._last_arrival:

@@ -10,6 +10,7 @@ hook pulls :mod:`orchestrate_testsweeps` in on the worker side).
 import json
 import multiprocessing
 import os
+import random
 import signal
 import subprocess
 import time
@@ -244,6 +245,58 @@ class TestBackends:
         with pytest.raises(ValueError, match="host"):
             SSHBackend(hosts=[])
 
+    def test_spawn_retries_transient_errors_with_deterministic_backoff(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.orchestrate.backends as backends_mod
+
+        class FakeProc:
+            def poll(self):
+                return None
+
+            def terminate(self):
+                pass
+
+            def wait(self, timeout=None):
+                return 0
+
+        failures = {"left": 2}
+        naps = []
+
+        def flaky_popen(*args, **kwargs):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise OSError("transient spawn failure")
+            return FakeProc()
+
+        monkeypatch.setattr(backends_mod.subprocess, "Popen", flaky_popen)
+        monkeypatch.setattr(backends_mod.time, "sleep", naps.append)
+        backend = LocalBackend(workers=1)
+        backend._spawn_proc(tmp_path, ["worker"], "w0", env={})
+        assert backend.spawn_retries == 2
+        # Jitter-free exponential schedule: 0.05 s, then 0.1 s.
+        assert naps == [backends_mod.SPAWN_BACKOFF_SECONDS,
+                        backends_mod.SPAWN_BACKOFF_SECONDS * 2]
+        backend.shutdown()
+
+    def test_spawn_gives_up_after_bounded_attempts(self, tmp_path,
+                                                   monkeypatch):
+        import repro.orchestrate.backends as backends_mod
+
+        attempts = []
+
+        def always_fails(*args, **kwargs):
+            attempts.append(1)
+            raise OSError("no such executable")
+
+        monkeypatch.setattr(backends_mod.subprocess, "Popen", always_fails)
+        monkeypatch.setattr(backends_mod.time, "sleep", lambda _s: None)
+        backend = LocalBackend(workers=1)
+        with pytest.raises(OSError, match="no such executable"):
+            backend._spawn_proc(tmp_path, ["worker"], "w0", env={})
+        assert len(attempts) == backends_mod.SPAWN_RETRY_LIMIT
+        assert backend.spawn_retries == backends_mod.SPAWN_RETRY_LIMIT - 1
+
     def test_slurm_script_is_an_array_job(self, tmp_path):
         backend = SlurmBackend(workers=5, partition="batch",
                                remote_prelude="module load python")
@@ -358,6 +411,79 @@ class TestCrashRecovery:
         assert payload["simulated_points"] == points - cached_at_kill
         assert payload["replay_simulated"] == 0
         assert len(cache) == points
+
+    def test_chaos_hammer_is_bit_identical_to_serial(self, tmp_path,
+                                                     worker_env):
+        """Seeded chaos rounds: raw workers randomly SIGKILLed or
+        SIGSTOP/SIGCONT-paused mid-shard, repeatedly, then the run is
+        resumed with a fresh fleet.  The merged report must equal the
+        serial ground truth with every point exactly once (no shard
+        double-merged, nothing recomputed at merge time) -- the
+        at-most-once merge and lease machinery under fire."""
+        rng = random.Random(1234)
+        run_dir, cache_dir = tmp_path / "run", tmp_path / "cache"
+        points, delay = 8, 0.25
+        prepare_run(
+            run_dir, _slow_sweeps(points=points, delay=delay), cache_dir,
+            shards=4, lease_ttl=1.0,
+            extra_imports=["orchestrate_testsweeps"],
+        )
+        cache = ResultCache(cache_dir)
+
+        def spawn(worker_id):
+            return subprocess.Popen(
+                worker_command(run_dir, worker_id),
+                stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT,
+                env=dict(os.environ),
+            )
+
+        spawned = []
+        try:
+            for round_no in range(3):
+                procs = [spawn(f"chaos-{round_no}-{i}") for i in range(2)]
+                spawned.extend(procs)
+                # Let the fleet make some progress (or give up claiming:
+                # stale RUNNING leases are the dispatcher's to expire).
+                baseline = len(cache)
+                deadline = time.time() + 60.0
+                while time.time() < deadline:
+                    if len(cache) > baseline:
+                        break
+                    if all(proc.poll() is not None for proc in procs):
+                        break
+                    time.sleep(0.05)
+                for proc in procs:
+                    if proc.poll() is not None:
+                        continue
+                    if rng.random() < 0.5:
+                        proc.send_signal(signal.SIGKILL)
+                    else:
+                        # Pause through the lease TTL so the heartbeat
+                        # goes stale, wake briefly, then murder anyway.
+                        proc.send_signal(signal.SIGSTOP)
+                        time.sleep(rng.uniform(0.1, 0.5))
+                        proc.send_signal(signal.SIGCONT)
+                        proc.send_signal(signal.SIGKILL)
+                    proc.wait(timeout=30)
+                if len(cache) >= points:
+                    break
+        finally:
+            for proc in spawned:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=30)
+
+        payload = resume_run(
+            run_dir, LocalBackend(workers=2), poll_interval=0.1,
+            log=_quiet, timeout=180.0,
+        )
+        merged_points = payload["sweeps"][0]["points"]
+        merged = {p["key"]: p["record"] for p in merged_points}
+        assert merged == _serial_records(points=points, delay=delay)
+        assert len(merged_points) == points   # no shard double-merged
+        assert payload["replay_simulated"] == 0
+        assert all(lease.state == DONE
+                   for lease in read_leases(run_dir).values())
 
     def test_dispatcher_reassigns_stale_lease_without_a_corpse(
         self, tmp_path, worker_env
@@ -510,6 +636,34 @@ class TestResultCacheConcurrency:
         os.utime(parked, (ancient, ancient))
         assert cache.clear() == 0
         assert not parked.exists()
+
+    def test_atomic_write_json_fsyncs_data_before_rename(self, tmp_path,
+                                                         monkeypatch):
+        """The durability contract: flush + fsync the temp file *before*
+        ``os.replace`` (else a crash can leave the final name pointing
+        at zero-length data), plus a best-effort directory fsync after."""
+        from repro.sweep.cache import atomic_write_json
+
+        synced = []
+        real_fsync = os.fsync
+
+        def spy_fsync(fd):
+            synced.append(fd)
+            return real_fsync(fd)
+
+        real_replace = os.replace
+
+        def spy_replace(src, dst):
+            assert synced, "temp file must be fsynced before the rename"
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        target = tmp_path / "entry.json"
+        atomic_write_json(target, {"value": 1})
+        assert json.loads(target.read_text()) == {"value": 1}
+        # One data-file fsync pre-rename, one directory fsync post-rename.
+        assert len(synced) == 2
 
     def test_prune_tolerates_vanishing_files(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")

@@ -8,7 +8,10 @@ Commands:
 * ``cache``    -- inspect or maintain the on-disk sweep result cache,
 * ``systems``  -- list the named system configurations,
 * ``faults``   -- list or describe fault-injection presets
-  (``sweep --faults <preset>`` overlays one onto any sweep).
+  (``sweep --faults <preset>`` overlays one onto any sweep),
+* ``telemetry`` -- summarize or export per-point telemetry artifacts
+  captured with ``sweep --trace`` / ``--metrics-every``
+  (docs/OBSERVABILITY.md).
 
 Examples::
 
@@ -312,6 +315,26 @@ def _progress_printer():
     return progress, finish
 
 
+def _telemetry_settings(args):
+    """Session settings from the sweep telemetry flags, or None."""
+    if not (args.trace or args.metrics_every is not None
+            or args.profile or args.diagnostics):
+        if args.telemetry_dir is not None:
+            print("note: --telemetry-dir applies with --trace, "
+                  "--metrics-every, --profile or --diagnostics",
+                  file=sys.stderr)
+        return None
+    from repro.telemetry.state import TelemetrySettings
+
+    return TelemetrySettings(
+        trace=args.trace,
+        trace_dir=args.telemetry_dir or "telemetry",
+        metrics_every=args.metrics_every,
+        profile=args.profile,
+        diagnostics=args.diagnostics,
+    )
+
+
 def cmd_sweep(args) -> int:
     if args.list:
         return _list_sweeps(as_json=args.json)
@@ -369,6 +392,14 @@ def cmd_sweep(args) -> int:
             specs = [apply_domains(spec, args.domains) for spec in specs]
         except ValueError as exc:
             raise SystemExit(str(exc)) from None
+    settings = _telemetry_settings(args)
+    if settings is not None:
+        # Process-global session; pool workers inherit it through the
+        # environment channel.  No explicit deactivate: the CLI process
+        # (and with it the env var) ends right after the run.
+        from repro.telemetry.state import activate
+
+        activate(settings)
     if args.ladder:
         if not names:
             raise SystemExit("--ladder requires --name <sweep>")
@@ -408,6 +439,18 @@ def cmd_sweep(args) -> int:
             header, rows = _result_rows(report)
             print(format_table(header, rows, title=spec.name))
         print(report.describe())
+    if settings is not None:
+        captured = sum(1 for report in reports
+                       for outcome in report.outcomes if outcome.telemetry)
+        total = sum(len(report.outcomes) for report in reports)
+        print(f"telemetry: {captured}/{total} point(s) captured -> "
+              f"{settings.trace_dir} "
+              f"(python -m repro telemetry summarize --dir "
+              f"{settings.trace_dir})")
+        if captured < total:
+            print("note: cached points replay their records without "
+                  "simulating, so they produce no telemetry; use "
+                  "--no-cache to capture every point", file=sys.stderr)
     return 0
 
 
@@ -714,6 +757,123 @@ def cmd_faults(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# telemetry
+# ----------------------------------------------------------------------
+def _telemetry_keys(directory: str) -> list:
+    """Point key hashes with artifacts in ``directory``, sorted."""
+    suffixes = (".trace.json", ".metrics.json", ".profile.json", ".prom")
+    keys = set()
+    for entry in os.listdir(directory):
+        for suffix in suffixes:
+            if entry.endswith(suffix):
+                keys.add(entry[:-len(suffix)])
+                break
+    return sorted(keys)
+
+
+def cmd_telemetry(args) -> int:
+    """``telemetry summarize`` / ``telemetry export``."""
+    import json
+
+    from repro.telemetry import validate_chrome_trace
+
+    directory = args.dir
+    if not os.path.isdir(directory):
+        raise SystemExit(
+            f"telemetry: no artifact directory {directory!r} (capture one "
+            f"with: python -m repro sweep --name <sweep> --trace)"
+        )
+    keys = _telemetry_keys(directory)
+    if not keys:
+        raise SystemExit(f"telemetry: no artifacts in {directory!r}")
+
+    if args.action == "summarize":
+        rows = []
+        for key in keys:
+            spans = instants = "-"
+            valid = "-"
+            trace_path = os.path.join(directory, f"{key}.trace.json")
+            if os.path.exists(trace_path):
+                with open(trace_path, encoding="utf-8") as handle:
+                    document = json.load(handle)
+                events = document.get("traceEvents", [])
+                spans = sum(1 for e in events if e.get("ph") == "X")
+                instants = sum(1 for e in events if e.get("ph") == "i")
+                problems = validate_chrome_trace(document)
+                valid = "ok" if not problems else f"{len(problems)} bad"
+            samples = series = "-"
+            metrics_path = os.path.join(directory, f"{key}.metrics.json")
+            if os.path.exists(metrics_path):
+                with open(metrics_path, encoding="utf-8") as handle:
+                    metrics = json.load(handle)
+                samples = metrics.get("samples", "-")
+                series = metrics.get("series", "-")
+            hotspot = "-"
+            profile_path = os.path.join(directory, f"{key}.profile.json")
+            if os.path.exists(profile_path):
+                with open(profile_path, encoding="utf-8") as handle:
+                    profile = json.load(handle)
+                buckets = profile.get("buckets", [])
+                if buckets:
+                    top = buckets[0]
+                    hotspot = (f"{top['bucket']} "
+                               f"({top['seconds'] * 1e3:.1f} ms)")
+            rows.append((key[:16], spans, instants, samples, series,
+                         hotspot, valid))
+        print(format_table(
+            ["point", "spans", "instants", "samples", "series",
+             "hotspot", "trace"],
+            rows, title=f"telemetry artifacts in {directory}",
+        ))
+        return 0
+
+    # export: one validated Chrome trace document to --out.
+    traces = [key for key in keys
+              if os.path.exists(os.path.join(directory,
+                                             f"{key}.trace.json"))]
+    if not traces:
+        raise SystemExit(f"telemetry: no trace artifacts in {directory!r}")
+    if args.key:
+        matches = [key for key in traces if key.startswith(args.key)]
+        if not matches:
+            raise SystemExit(
+                f"telemetry: no trace matches key prefix {args.key!r}"
+            )
+        if len(matches) > 1:
+            raise SystemExit(
+                f"telemetry: key prefix {args.key!r} is ambiguous "
+                f"({len(matches)} matches); use a longer prefix"
+            )
+        chosen = matches[0]
+    elif len(traces) == 1:
+        chosen = traces[0]
+    else:
+        raise SystemExit(
+            f"telemetry: {len(traces)} traces in {directory!r}; pick one "
+            f"with --key <prefix> (see 'telemetry summarize')"
+        )
+    source = os.path.join(directory, f"{chosen}.trace.json")
+    with open(source, encoding="utf-8") as handle:
+        document = json.load(handle)
+    problems = validate_chrome_trace(document)
+    if problems:
+        raise SystemExit(
+            f"telemetry: {source} is not a valid Chrome trace: "
+            + "; ".join(problems[:5])
+        )
+    out = args.out or f"{chosen[:16]}.trace.json"
+    with open(source, "rb") as handle:
+        payload = handle.read()
+    with open(out, "wb") as handle:
+        handle.write(payload)
+    events = document.get("traceEvents", [])
+    spans = sum(1 for e in events if e.get("ph") == "X")
+    print(f"wrote {out} ({spans} spans, {len(events)} events) -- load it "
+          f"in Perfetto (ui.perfetto.dev) or chrome://tracing")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # cache
 # ----------------------------------------------------------------------
 def cmd_cache(args) -> int:
@@ -845,6 +1005,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--fault-seed", type=int, default=None,
                          help="reseed the fault preset's deterministic "
                               "injection streams (with --faults)")
+    p_sweep.add_argument("--trace", action="store_true",
+                         help="record tick-domain spans (DMA lifecycles, "
+                              "TLP trains, fault windows, PDES quantum "
+                              "rounds) per simulated point as Chrome "
+                              "trace JSON (docs/OBSERVABILITY.md); "
+                              "results stay bit-identical")
+    p_sweep.add_argument("--metrics-every", type=int, default=None,
+                         metavar="TICKS",
+                         help="sample per-component stat deltas every N "
+                              "simulated ticks into ring-buffered time "
+                              "series (with Prometheus text exposition)")
+    p_sweep.add_argument("--profile", choices=["exact", "sampling"],
+                         default=None,
+                         help="attribute host wall-clock of the event "
+                              "loop to component buckets (exact: time "
+                              "every callback; sampling: every 97th)")
+    p_sweep.add_argument("--diagnostics", action="store_true",
+                         help="record simulator run-health counters "
+                              "(events executed/skipped, sync rounds) "
+                              "in each outcome record")
+    p_sweep.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                         help="artifact directory for --trace/"
+                              "--metrics-every/--profile outputs "
+                              "(default: ./telemetry)")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_sur = sub.add_parser(
@@ -979,6 +1163,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--seed", type=int, default=None,
                           help="describe: show the preset reseeded")
     p_faults.set_defaults(func=cmd_faults)
+
+    p_tel = sub.add_parser(
+        "telemetry",
+        help="summarize or export telemetry artifacts captured with "
+             "sweep --trace / --metrics-every (docs/OBSERVABILITY.md)",
+    )
+    p_tel.add_argument("action", choices=["summarize", "export"],
+                       nargs="?", default="summarize")
+    p_tel.add_argument("--dir", default="telemetry",
+                       help="artifact directory (default: ./telemetry; "
+                            "matches sweep --telemetry-dir)")
+    p_tel.add_argument("--key", default=None, metavar="PREFIX",
+                       help="export: key-hash prefix selecting one "
+                            "point's trace")
+    p_tel.add_argument("--out", default=None, metavar="PATH",
+                       help="export: destination path for the Chrome "
+                            "trace JSON")
+    p_tel.set_defaults(func=cmd_telemetry)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or maintain the sweep result cache"

@@ -179,19 +179,32 @@ def system_for(config: SystemConfig) -> AcceSysSystem:
     construction-time state exactly -- results are bit-identical to a
     fresh build (asserted by ``tests/test_system_reset.py``).  Keyed on
     the canonical config hash, so any field change builds a new system.
+
+    Every acquisition passes through the telemetry layer: when a
+    session is active (:func:`repro.telemetry.state.active`) the system
+    gets its observation hooks attached here -- the single chokepoint
+    that covers fresh builds and memoized reuse alike.  ``activate`` /
+    ``deactivate`` clear the memo, so a session never inherits a
+    hookless (or stale-hooked) system.
     """
+    from repro.telemetry.state import on_system_acquired
+
     if not system_memo_enabled():
-        return AcceSysSystem(config)
+        system = AcceSysSystem(config)
+        on_system_acquired(system)
+        return system
     key = config.stable_hash()
     system = _system_memo.get(key)
     if system is not None:
         _system_memo.move_to_end(key)
         system.reset()
+        on_system_acquired(system)
         return system
     system = AcceSysSystem(config)
     _system_memo[key] = system
     while len(_system_memo) > SYSTEM_MEMO_CAPACITY:
         _system_memo.popitem(last=False)
+    on_system_acquired(system)
     return system
 
 

@@ -44,6 +44,7 @@ class _Work:
     __slots__ = (
         "descriptor", "channel", "size", "is_read", "template",
         "next_offset", "outstanding", "on_complete", "failed",
+        "submit_tick", "retries",
     )
 
     def __init__(
@@ -68,6 +69,8 @@ class _Work:
         self.outstanding = 0
         self.on_complete = on_complete
         self.failed = False
+        self.submit_tick = 0
+        self.retries = 0
 
 
 class _SegmentState:
@@ -150,6 +153,11 @@ class DMAEngine(SimObject):
         self._retries = None
         self._aborted = None
 
+        # Telemetry hook (repro.telemetry): a DmaTrace recording
+        # descriptor lifecycle spans, or None when tracing is off --
+        # same default-None discipline as the fault attributes above.
+        self.trace = None
+
     def configure_faults(self, policy, endpoint_fault=None) -> None:
         """Arm completion timeouts (and optional endpoint stall/crash).
 
@@ -201,9 +209,11 @@ class DMAEngine(SimObject):
             raise ValueError(
                 f"channel {channel} out of range 0..{self.num_channels - 1}"
             )
-        self._channels[channel].queue.append(
-            _Work(descriptor, channel, on_complete, self.name)
-        )
+        work = _Work(descriptor, channel, on_complete, self.name)
+        if self.trace is not None:
+            work.submit_tick = self.sim.now
+            self.trace.submit(descriptor.stream, descriptor.size, self.sim.now)
+        self._channels[channel].queue.append(work)
         self._pump()
 
     def submit_list(
@@ -294,9 +304,18 @@ class DMAEngine(SimObject):
             self._latency.sample(now - done_txn.issue_tick)
             self._tags_in_use -= 1
             work.outstanding -= 1
+            if self.trace is not None:
+                self.trace.segment(
+                    done_txn.stream, done_txn.issue_tick, now, done_txn.size
+                )
             if work.outstanding == 0 and work.next_offset >= total:
                 descriptor.completed_at = now
                 self._descriptors.inc()
+                if self.trace is not None:
+                    self.trace.descriptor(
+                        descriptor.stream, work.submit_tick, now,
+                        work.size, work.retries,
+                    )
                 if work.on_complete is not None:
                     work.on_complete(descriptor)
             self._pump()
@@ -333,6 +352,11 @@ class DMAEngine(SimObject):
                 descriptor.completed_at = now
                 if not work.failed:
                     self._descriptors.inc()
+                    if self.trace is not None:
+                        self.trace.descriptor(
+                            descriptor.stream, work.submit_tick, now,
+                            work.size, work.retries,
+                        )
                 if work.on_complete is not None:
                     work.on_complete(descriptor)
             self._pump()
@@ -355,6 +379,10 @@ class DMAEngine(SimObject):
                 self._channel_retries[channel] -= 1
             done_txn.complete_tick = now
             self._latency.sample(now - seg.issued_at)
+            if self.trace is not None:
+                self.trace.segment(
+                    done_txn.stream, seg.issued_at, now, seg.size
+                )
             retire(now)
 
         def abort() -> None:
@@ -383,6 +411,8 @@ class DMAEngine(SimObject):
                     if queue and queue[0] is work:
                         queue.popleft()
                     work.next_offset = work.size
+                if self.trace is not None:
+                    self.trace.abort(descriptor.stream, now, descriptor.error)
             retire(now)
 
         def timeout_fired() -> None:
@@ -402,6 +432,11 @@ class DMAEngine(SimObject):
                 return
             seg.attempts += 1
             self._retries.inc()
+            if self.trace is not None:
+                work.retries += 1
+                self.trace.retry(
+                    work.template.stream, self.sim.now, seg.attempts
+                )
             retry_txn = work.template.clone_for_segment(
                 seg.addr, seg.size, self.sim.now
             )

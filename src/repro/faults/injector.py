@@ -48,7 +48,7 @@ class LinkFaultState:
     """
 
     __slots__ = (
-        "spec", "stream", "counter",
+        "spec", "stream", "counter", "trace",
         "_replays", "_replay_ticks", "_retrain_ticks", "_downtrain_ticks",
     )
 
@@ -57,6 +57,10 @@ class LinkFaultState:
         self.spec = spec
         self.stream = stream_for(seed, link_name)
         self.counter = 0
+        # Telemetry hook (repro.telemetry): the owning link's LinkTrace,
+        # so retrain/down-train windows land on the same trace row as
+        # the TLP trains they delay; None when tracing is off.
+        self.trace = None
         self._replays = stats.scalar(
             "fault_replays", "TLPs retransmitted after LCRC corruption"
         )
@@ -93,6 +97,8 @@ class LinkFaultState:
             penalty = occupancy * (spec.downtrain_factor - 1)
             occupancy += penalty
             self._downtrain_ticks.inc(penalty)
+            if self.trace is not None:
+                self.trace.downtrain(start, penalty)
         # Retrain window: the wire is dead until the window closes.
         stall = 0
         if spec.retrain_period and spec.retrain_duration:
@@ -100,6 +106,8 @@ class LinkFaultState:
             if phase < spec.retrain_duration:
                 stall = spec.retrain_duration - phase
                 self._retrain_ticks.inc(stall)
+                if self.trace is not None:
+                    self.trace.retrain(start, stall)
         # Transient TLP corruption -> NAK + replay-buffer retransmission.
         # One counter draw per train: the expected corrupted-TLP count is
         # n * rate; the fractional remainder resolves through the

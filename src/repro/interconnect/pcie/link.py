@@ -182,6 +182,9 @@ class PCIeChannel(SimObject):
         #: .LinkFaultState`); attached by the system's fault model, None
         #: on every fault-free run.
         self.faults = None
+        #: Telemetry hook (:class:`repro.telemetry.tracer.LinkTrace`);
+        #: attached by the telemetry runtime, None when tracing is off.
+        self.trace = None
 
         self._tlps = self.stats.scalar("tlps", "TLPs carried")
         self._payload_bytes = self.stats.scalar("payload_bytes", "payload carried")
@@ -244,6 +247,8 @@ class PCIeChannel(SimObject):
         self._payload_bytes.inc(max(0, payload_bytes))
         self._wire_byte_stat.inc(wire_bytes)
         self._busy_ticks.inc(occupancy)
+        if self.trace is not None:
+            self.trace.tlp_train(start, occupancy, n_tlps, payload_bytes)
         self.schedule_at(arrival, lambda: on_arrive(txn))
 
     @property

@@ -230,6 +230,7 @@ def _merge_and_verify(
     # Collect each done shard's outcome records (one file per shard,
     # written atomically by whichever worker finished it last).
     shard_records: List[dict] = []
+    shard_telemetry: Dict[int, dict] = {}
     for index in sorted(leases):
         path = report_path(run_dir, index)
         try:
@@ -241,6 +242,9 @@ def _merge_and_verify(
                 f"shard {index} is marked done but its report file "
                 f"{path.name} is unreadable: {exc}"
             ) from exc
+        telemetry = shard_records[-1].get("telemetry")
+        if telemetry:
+            shard_telemetry[index] = telemetry
 
     merged_per_spec = []
     for si, spec in enumerate(specs):
@@ -302,6 +306,13 @@ def _merge_and_verify(
                 "owner": lease.owner,
                 "hits": lease.hits,
                 "misses": lease.misses,
+                # Telemetry bookkeeping shipped in the shard report (when
+                # the fleet ran under a telemetry session): how many
+                # points that shard captured and where the artifacts are.
+                **(
+                    {"telemetry": shard_telemetry[lease.index]}
+                    if lease.index in shard_telemetry else {}
+                ),
             }
             for lease in sorted(leases.values(), key=lambda l: l.index)
         ],

@@ -51,15 +51,46 @@ def default_worker_id(suffix: str = "") -> str:
     return f"{tag}-{suffix}" if suffix else tag
 
 
+def _shard_telemetry_summary(spec_records) -> Optional[dict]:
+    """Summarize telemetry captured while running this shard.
+
+    The per-point artifacts (trace/metrics/profile files) already live
+    under the session's trace directory; the shard report only carries
+    the bookkeeping the dispatcher folds into ``report.json``
+    provenance: how many points this shard captured and where the
+    artifacts went.  None when no telemetry session is active.
+    """
+    from repro.telemetry.state import active
+
+    settings = active()
+    if settings is None or not settings.enabled:
+        return None
+    captured = sum(
+        1
+        for record in spec_records
+        for point in record.get("points", ())
+        if "telemetry" in point or "diagnostics" in point
+    )
+    return {
+        "captured_points": captured,
+        "trace_dir": settings.trace_dir,
+    }
+
+
 def _write_shard_report(run_dir, lease: ShardLease, reports) -> None:
     """Atomically persist this shard's outcome records."""
-    atomic_write_json(report_path(run_dir, lease.index), {
+    spec_records = [report.to_record() for report in reports]
+    payload = {
         "index": lease.index,
         "total": lease.total,
         "attempt": lease.attempt,
         "owner": lease.owner,
-        "spec_records": [report.to_record() for report in reports],
-    })
+        "spec_records": spec_records,
+    }
+    telemetry = _shard_telemetry_summary(spec_records)
+    if telemetry is not None:
+        payload["telemetry"] = telemetry
+    atomic_write_json(report_path(run_dir, lease.index), payload)
 
 
 def _lease_still_ours(run_dir, lease: ShardLease) -> bool:

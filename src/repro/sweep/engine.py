@@ -46,7 +46,12 @@ from typing import (
     Union,
 )
 
-from repro.sweep.cache import NullCache, ResultCache, point_key
+from repro.sweep.cache import (
+    NullCache,
+    ResultCache,
+    atomic_write_json,
+    point_key,
+)
 from repro.sweep.spec import (
     Runner,
     SweepPoint,
@@ -68,6 +73,12 @@ class SweepOutcome:
     record: dict
     cached: bool
     key_hash: str
+    #: Per-point telemetry summary (artifact paths, sampler counts,
+    #: diagnostics) when a telemetry session was active while the point
+    #: simulated; None for cached replays and untraced runs.  Lives
+    #: *beside* ``record``, never inside it: the record payload stays
+    #: bit-identical with telemetry on and off.
+    telemetry: Optional[dict] = None
 
     @property
     def key(self):
@@ -79,13 +90,24 @@ class SweepOutcome:
         The point key is stored as ``repr`` -- keys are tuples/strings
         chosen to label reports, and their repr is what shard workers
         and the orchestrator compare across process boundaries.
+        Telemetry and diagnostics, when captured, ride as optional
+        sibling keys -- absent on untraced runs, so untraced record
+        dicts are byte-for-byte what they were before telemetry existed.
         """
-        return {
+        out = {
             "key": repr(self.key),
             "key_hash": self.key_hash,
             "cached": self.cached,
             "record": self.record,
         }
+        if self.telemetry:
+            telemetry = dict(self.telemetry)
+            diagnostics = telemetry.pop("diagnostics", None)
+            if telemetry:
+                out["telemetry"] = telemetry
+            if diagnostics is not None:
+                out["diagnostics"] = diagnostics
+        return out
 
 
 @dataclass
@@ -254,10 +276,74 @@ def _point_params(spec: SweepSpec, point: SweepPoint) -> dict:
     return params
 
 
-def _simulate(runner: Runner, point: SweepPoint, params: dict) -> dict:
-    """Run one point and encode its result (this is the worker body)."""
+def _drain_telemetry(key_hash: str) -> Optional[dict]:
+    """Collect one simulated point's telemetry; write its artifacts.
+
+    Runs in whichever process simulated the point (pool workers inherit
+    the session through the environment channel), so artifacts land on
+    disk exactly once, next to the worker that produced them.  Artifact
+    names are ``<key_hash>.<kind>`` -- deterministic, so rerunning the
+    same point overwrites with byte-identical content.  Returns the
+    JSON-safe summary carried on :attr:`SweepOutcome.telemetry`, or
+    None when no session is active.  The self-profiler's wall-clock
+    numbers go only into their artifact file, never the summary:
+    everything shipped between processes and merged into reports must
+    be deterministic.
+    """
+    from repro.telemetry.state import active, drain_point
+
+    settings = active()
+    if settings is None or not settings.enabled:
+        return None
+    data = drain_point()
+    if not data:
+        return None
+    directory = settings.trace_dir
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    out: Dict[str, Any] = {}
+    trace = data.get("trace")
+    if trace is not None:
+        entry: Dict[str, Any] = {"events": trace["events"]}
+        if directory:
+            path = os.path.join(directory, f"{key_hash}.trace.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(trace["chrome_json"])
+            entry["path"] = path
+        out["trace"] = entry
+    metrics = data.get("metrics")
+    if metrics is not None:
+        entry = {"summary": metrics["summary"]}
+        if directory:
+            path = os.path.join(directory, f"{key_hash}.metrics.json")
+            atomic_write_json(path, metrics["record"])
+            prom_path = os.path.join(directory, f"{key_hash}.prom")
+            with open(prom_path, "w", encoding="utf-8") as handle:
+                handle.write(metrics["prometheus"])
+            entry["path"] = path
+            entry["prometheus_path"] = prom_path
+        out["metrics"] = entry
+    profile = data.get("profile")
+    if profile is not None and directory:
+        path = os.path.join(directory, f"{key_hash}.profile.json")
+        atomic_write_json(path, profile)
+        out["profile"] = {"path": path}
+    if "diagnostics" in data:
+        out["diagnostics"] = data["diagnostics"]
+    return out or None
+
+
+def _simulate(
+    runner: Runner, point: SweepPoint, params: dict, key_hash: str
+) -> tuple:
+    """Run one point and encode its result (this is the worker body).
+
+    Returns ``(record, telemetry)``: the runner-encoded record, plus the
+    per-point telemetry summary (None on ordinary untraced runs).
+    """
     result = runner.run(point.config, **params)
-    return runner.encode(result)
+    record = runner.encode(result)
+    return record, _drain_telemetry(key_hash)
 
 
 @dataclass
@@ -280,10 +366,10 @@ class _WorkerFailure:
 
 def _pool_entry(payload) -> tuple:
     """Module-level trampoline so the pool can pickle the work unit."""
-    index, runner_ref, point, params = payload
+    index, runner_ref, point, params, key_hash = payload
     runner = resolve_runner(runner_ref)
     try:
-        return index, _simulate(runner, point, params)
+        return index, _simulate(runner, point, params, key_hash)
     except Exception as exc:  # noqa: BLE001 - re-raised by the parent
         return index, _WorkerFailure.capture(point, exc)
 
@@ -395,12 +481,13 @@ def _execute(
     # Phase 2+3 interleaved: simulate, write back, yield ---------------
     cache_write_failed = False
 
-    def finish(entry, record) -> Optional[Tuple[int, int, SweepOutcome]]:
+    def finish(entry, payload) -> Optional[Tuple[int, int, SweepOutcome]]:
         nonlocal cache_write_failed
         _gi, si, pi, point, params, key_hash = entry
-        if isinstance(record, _WorkerFailure):
-            state.failures.append(record)
+        if isinstance(payload, _WorkerFailure):
+            state.failures.append(payload)
             return None
+        record, telemetry = payload
         try:
             store.put(
                 key_hash,
@@ -428,14 +515,16 @@ def _execute(
             record=record,
             cached=False,
             key_hash=key_hash,
+            telemetry=telemetry,
         )
 
-    def emit(entry, record):
+    def emit(entry, payload):
         """Outcomes for one finished point plus its deduped followers."""
-        out = finish(entry, record)
+        out = finish(entry, payload)
         if out is None:
             return
         yield out
+        record = payload[0]
         for fsi, fpi, fpoint, fhash in followers.get(entry[0], ()):
             # A follower never simulated: it replays the sibling's
             # record, exactly as a cache hit would have.
@@ -450,8 +539,8 @@ def _execute(
     stream = None
     if workers > 1 and len(pending) > 1:
         # runner refs (names or module-level callables) pickle to workers
-        jobs = [(gi, specs[si].runner, point, params)
-                for gi, si, pi, point, params, _hash in pending]
+        jobs = [(gi, specs[si].runner, point, params, key_hash)
+                for gi, si, pi, point, params, key_hash in pending]
         stream = _run_parallel(jobs, min(workers, len(jobs)))
 
     done: set = set()
@@ -483,16 +572,16 @@ def _execute(
         # flow earlier successes through `finish` so they reach the
         # cache before the raise below.
         for entry in pending:
-            gi, si, pi, point, params, _hash = entry
+            gi, si, pi, point, params, key_hash = entry
             if gi in done:
                 continue
             try:
-                record = _simulate(runners[si], point, params)
+                payload = _simulate(runners[si], point, params, key_hash)
             except Exception as exc:  # noqa: BLE001 - re-raised below
                 state.failures.append(_WorkerFailure.capture(point, exc))
                 break
             done.add(gi)
-            yield from emit(entry, record)
+            yield from emit(entry, payload)
 
     if state.failures:
         first = state.failures[0]

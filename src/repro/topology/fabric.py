@@ -187,6 +187,9 @@ class SwitchLink(SimObject):
         #: .LinkFaultState`); attached by the system's fault model, None
         #: on every fault-free run.
         self.faults = None
+        #: Telemetry hook (:class:`repro.telemetry.tracer.LinkTrace`);
+        #: attached by the telemetry runtime, None when tracing is off.
+        self.trace = None
 
         self._tlps = self.stats.scalar("tlps", "TLPs carried")
         self._payload_bytes = self.stats.scalar("payload_bytes", "payload carried")
@@ -291,6 +294,9 @@ class SwitchLink(SimObject):
         self._grants.value += 1
         self._wait_ticks.value += now - queued_at
         self.stats.dirty = True
+
+        if self.trace is not None:
+            self.trace.tlp_train(now, occupancy, n_tlps, payload_bytes)
 
         self._busy = True
         sim = self.sim

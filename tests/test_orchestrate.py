@@ -339,6 +339,44 @@ class TestLocalOrchestration:
         leases = read_leases(run_dir)
         assert all(lease.state == DONE for lease in leases.values())
 
+    def test_fleet_telemetry_lands_in_shard_provenance(
+        self, tmp_path, worker_env, monkeypatch
+    ):
+        """Workers inherit the telemetry session through the environment
+        channel; their shard reports carry capture counts that the
+        dispatcher surfaces in ``shard_provenance`` -- while the merged
+        point records stay bit-identical to an untraced serial run."""
+        from repro.telemetry import TELEMETRY_ENV, TelemetrySettings
+
+        spec = build_sweep("access-modes", size=24)
+        serial = {repr(o.key): o.record
+                  for o in run_sweep(spec, workers=1, cache=False).outcomes}
+
+        trace_dir = tmp_path / "telemetry"
+        settings = TelemetrySettings(trace=True, trace_dir=str(trace_dir),
+                                     diagnostics=True)
+        monkeypatch.setenv(TELEMETRY_ENV, json.dumps(settings.to_json()))
+        run_dir, cache_dir = tmp_path / "run", tmp_path / "cache"
+        prepare_run(
+            run_dir, [{"name": "access-modes", "overrides": {"size": 24}}],
+            cache_dir, shards=2, lease_ttl=30.0,
+        )
+        payload = orchestrate_run(
+            run_dir, LocalBackend(workers=2), poll_interval=0.1,
+            log=_quiet, timeout=180.0,
+        )
+        merged = {p["key"]: p["record"]
+                  for p in payload["sweeps"][0]["points"]}
+        assert merged == serial
+        telemetries = [entry.get("telemetry")
+                       for entry in payload["shard_provenance"]]
+        captured = sum(t["captured_points"] for t in telemetries if t)
+        assert captured == len(serial)
+        assert all(t["trace_dir"] == str(trace_dir)
+                   for t in telemetries if t)
+        # Each simulated point left a Chrome trace artifact on disk.
+        assert len(list(trace_dir.glob("*.trace.json"))) == len(serial)
+
     def test_merge_hooks_reject_conflicting_shards(self):
         base = {"spec": "s", "hits": 0, "misses": 1,
                 "points": [{"key": "0", "key_hash": "h", "cached": False,

@@ -1,0 +1,523 @@
+"""Tests for the telemetry subsystem (repro.telemetry).
+
+Covers the acceptance bars of docs/OBSERVABILITY.md:
+
+* disabled defaults: every component hook is None, the null tracer is
+  inert, and an inactive session reports None;
+* Chrome trace export: schema-valid, metadata-first, deterministic
+  (byte-identical across reruns, --shard slices and --domains counts);
+* record bit-identity: a traced sweep produces the very records an
+  untraced sweep does, with telemetry/diagnostics only as siblings;
+* the metrics ring buffer, the Prometheus exposition, the
+  self-profiler, and the env-var session channel.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import SystemConfig
+from repro.core.runner import run_gemm, system_for
+from repro.sim.eventq import ParallelSimulator, Simulator
+from repro.sim.statistics import StatGroup
+from repro.sweep import SweepSpec, gemm_points, run_sweep
+from repro.telemetry import (
+    TELEMETRY_ENV,
+    TRACER,
+    MetricsSampler,
+    NullTracer,
+    SelfProfiler,
+    SpanTracer,
+    TelemetrySettings,
+    activate,
+    active,
+    deactivate,
+    validate_chrome_trace,
+)
+from repro.telemetry.tracer import QuantumTrace
+
+SIZE = 32
+
+
+@pytest.fixture(autouse=True)
+def clean_session():
+    """Every test starts and ends with no telemetry session."""
+    deactivate()
+    yield
+    deactivate()
+
+
+def small_spec(name="telemetry-sweep", packets=(64, 256), domains=None):
+    base = SystemConfig.table2_baseline()
+    if domains is not None:
+        base = base.with_domains(domains)
+    configs = {packet: base.with_packet_size(packet) for packet in packets}
+    return SweepSpec(name=name, points=gemm_points(configs, SIZE))
+
+
+def run_traced(tmp_path, subdir, **settings_kw):
+    settings = TelemetrySettings(
+        trace=True, trace_dir=str(tmp_path / subdir), **settings_kw
+    )
+    activate(settings)
+    try:
+        return run_sweep(small_spec(), workers=1, cache=False)
+    finally:
+        deactivate()
+
+
+# ----------------------------------------------------------------------
+# Disabled defaults
+# ----------------------------------------------------------------------
+class TestDisabledDefaults:
+    def test_null_tracer_is_inert(self):
+        assert isinstance(TRACER, NullTracer)
+        assert TRACER.enabled is False
+        TRACER.complete(0, "x", "span", "cat", 0, 10)
+        TRACER.instant(0, "x", "mark", "cat", 5)
+        TRACER.clear()  # all no-ops, nothing to assert beyond not raising
+
+    def test_component_hooks_default_none(self):
+        system = system_for(SystemConfig.table2_baseline())
+        assert system.wrapper.dma.trace is None
+        assert system.sim._profiler is None
+        assert system.fabric.up.trace is None
+        assert system.fabric.down.trace is None
+
+    def test_inactive_session(self):
+        assert active() is None
+        from repro.telemetry import current_runtime, drain_point
+
+        assert current_runtime() is None
+        assert drain_point() is None
+
+    def test_settings_disabled_by_default(self):
+        settings = TelemetrySettings()
+        assert not settings.enabled
+        assert TelemetrySettings(trace=True).enabled
+        assert TelemetrySettings(metrics_every=100).enabled
+        assert TelemetrySettings(diagnostics=True).enabled
+
+
+# ----------------------------------------------------------------------
+# The span tracer and Chrome export
+# ----------------------------------------------------------------------
+class TestSpanTracer:
+    def fill(self, tracer):
+        tracer.complete(0, "link.up", "tlp-train", "pcie", 100, 50,
+                        args={"tlps": 3})
+        tracer.complete(1, "dma0", "dma-segment:A", "dma", 200, 75)
+        tracer.instant(1, "dma0", "dma-submit:A", "dma", 150)
+
+    def test_records_and_tids(self):
+        tracer = SpanTracer()
+        self.fill(tracer)
+        assert len(tracer) == 3
+        events = tracer.chrome_events()
+        # Metadata first: 2 process names + 2 thread names, then spans.
+        meta = [e for e in events if e["ph"] == "M"]
+        assert len(meta) == 4
+        assert events[: len(meta)] == meta
+        spans = [e for e in events if e["ph"] != "M"]
+        assert [e["ph"] for e in spans] == ["X", "X", "i"]
+        # Ticks are ps; Chrome ts is microseconds.
+        assert spans[0]["ts"] == 100 / 10**6
+        assert spans[0]["dur"] == 50 / 10**6
+
+    def test_schema_valid_and_deterministic(self):
+        one, two = SpanTracer(), SpanTracer()
+        self.fill(one)
+        self.fill(two)
+        assert one.to_chrome_json() == two.to_chrome_json()
+        document = json.loads(one.to_chrome_json())
+        assert validate_chrome_trace(document) == []
+
+    def test_validator_catches_problems(self):
+        assert validate_chrome_trace({}) == [
+            "traceEvents missing or not a list"
+        ]
+        bad = {"traceEvents": [
+            {"ph": "Z", "pid": 0, "tid": 0, "name": "x"},
+            {"ph": "X", "pid": "no", "tid": 0, "name": "x", "ts": -1},
+        ]}
+        problems = validate_chrome_trace(bad)
+        assert any("unknown phase" in p for p in problems)
+        assert any("pid" in p for p in problems)
+        assert any("bad ts" in p for p in problems)
+        assert any("bad dur" in p for p in problems)
+
+    def test_clear(self):
+        tracer = SpanTracer()
+        self.fill(tracer)
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.chrome_events() == []
+
+
+# ----------------------------------------------------------------------
+# Session settings and the env channel
+# ----------------------------------------------------------------------
+class TestSessionChannel:
+    def test_json_round_trip(self):
+        settings = TelemetrySettings(
+            trace=True, trace_dir="/tmp/t", metrics_every=1000,
+            profile="sampling", diagnostics=True,
+        )
+        assert TelemetrySettings.from_json(settings.to_json()) == settings
+
+    def test_activate_exports_env(self):
+        settings = TelemetrySettings(trace=True, trace_dir="/tmp/t")
+        activate(settings)
+        assert active() == settings
+        raw = os.environ[TELEMETRY_ENV]
+        assert TelemetrySettings.from_json(json.loads(raw)) == settings
+        deactivate()
+        assert TELEMETRY_ENV not in os.environ
+        assert active() is None
+
+    def test_env_channel_alone_activates(self):
+        # What a pool worker sees: no in-process activate() call, only
+        # the inherited environment variable.
+        settings = TelemetrySettings(diagnostics=True)
+        os.environ[TELEMETRY_ENV] = json.dumps(settings.to_json())
+        try:
+            assert active() == settings
+        finally:
+            del os.environ[TELEMETRY_ENV]
+
+    def test_malformed_env_is_ignored(self):
+        os.environ[TELEMETRY_ENV] = "{not json"
+        try:
+            assert active() is None
+        finally:
+            del os.environ[TELEMETRY_ENV]
+
+
+# ----------------------------------------------------------------------
+# Traced sweeps: bit-identity and deterministic artifacts
+# ----------------------------------------------------------------------
+class TestTracedSweep:
+    def test_records_bit_identical_and_siblings(self, tmp_path):
+        untraced = run_sweep(small_spec(), workers=1, cache=False)
+        traced = run_traced(tmp_path, "t", diagnostics=True)
+        plain = {o.key: o.record for o in untraced.outcomes}
+        with_telemetry = {o.key: o.record for o in traced.outcomes}
+        assert plain == with_telemetry
+        for outcome in traced.outcomes:
+            record = outcome.to_record()
+            assert "telemetry" in record and "diagnostics" in record
+            assert "telemetry" not in record["record"]
+            assert "diagnostics" not in record["record"]
+            assert record["diagnostics"]["events_executed"] > 0
+        for outcome in untraced.outcomes:
+            record = outcome.to_record()
+            assert "telemetry" not in record
+            assert "diagnostics" not in record
+
+    def test_trace_files_validate_and_rerun_byte_identical(self, tmp_path):
+        first = run_traced(tmp_path, "one")
+        second = run_traced(tmp_path, "two")
+        one_dir, two_dir = tmp_path / "one", tmp_path / "two"
+        names = sorted(p.name for p in one_dir.glob("*.trace.json"))
+        assert names == sorted(p.name for p in two_dir.glob("*.trace.json"))
+        assert len(names) == len(first.outcomes) == len(second.outcomes)
+        for name in names:
+            blob = (one_dir / name).read_bytes()
+            assert blob == (two_dir / name).read_bytes()
+            problems = validate_chrome_trace(json.loads(blob))
+            assert problems == [], (name, problems)
+
+    def test_trace_has_expected_span_families(self, tmp_path):
+        run_traced(tmp_path, "fam")
+        names = set()
+        for path in (tmp_path / "fam").glob("*.trace.json"):
+            for event in json.loads(path.read_text())["traceEvents"]:
+                if event["ph"] in ("X", "i"):
+                    names.add(event["name"].split(":")[0])
+        assert "tlp-train" in names
+        assert "dma-submit" in names
+        assert "dma-segment" in names
+        assert "dma-descriptor" in names
+
+    def test_metrics_and_profile_artifacts(self, tmp_path):
+        settings = TelemetrySettings(
+            trace_dir=str(tmp_path / "m"), metrics_every=1_000_000,
+            profile="exact",
+        )
+        activate(settings)
+        try:
+            report = run_sweep(small_spec(), workers=1, cache=False)
+        finally:
+            deactivate()
+        for outcome in report.outcomes:
+            summary = outcome.telemetry
+            assert summary["metrics"]["summary"]["samples"] > 0
+            metrics_doc = json.loads(
+                open(summary["metrics"]["path"]).read()
+            )
+            assert metrics_doc["timeline"]
+            prom = open(summary["metrics"]["prometheus_path"]).read()
+            assert "repro_stat{" in prom
+            assert "repro_samples_total" in prom
+            profile_doc = json.loads(open(summary["profile"]["path"]).read())
+            assert profile_doc["mode"] == "exact"
+            assert profile_doc["buckets"]
+            # Host wall-clock stays out of the cross-process summary.
+            assert "buckets" not in summary["profile"]
+            assert "total_seconds" not in summary["profile"]
+
+    def test_diagnostics_only_session(self, tmp_path):
+        settings = TelemetrySettings(diagnostics=True)
+        activate(settings)
+        try:
+            report = run_sweep(small_spec(), workers=1, cache=False)
+        finally:
+            deactivate()
+        for outcome in report.outcomes:
+            record = outcome.to_record()
+            assert "diagnostics" in record
+            assert "telemetry" not in record  # nothing else captured
+
+    def test_cached_points_capture_nothing(self, tmp_path):
+        spec = small_spec()
+        run_sweep(spec, workers=1, cache_dir=tmp_path / "cache")
+        settings = TelemetrySettings(
+            trace=True, trace_dir=str(tmp_path / "cached-t")
+        )
+        activate(settings)
+        try:
+            replay = run_sweep(spec, workers=1, cache_dir=tmp_path / "cache")
+        finally:
+            deactivate()
+        assert replay.fully_cached
+        assert all(o.telemetry is None for o in replay.outcomes)
+        assert not (tmp_path / "cached-t").exists()
+
+
+class TestPdesQuantumSpans:
+    def test_quantum_rounds_traced(self, tmp_path):
+        # A single-endpoint system stays on the classic Simulator even
+        # under --domains; quantum rounds need a partitionable fabric.
+        from repro.core.runner import run_multi_gemm
+        from repro.telemetry import drain_point
+
+        config = SystemConfig.pcie_2gb(num_accelerators=2).with_domains(2)
+        settings = TelemetrySettings(
+            trace=True, trace_dir=str(tmp_path / "pdes")
+        )
+        activate(settings)
+        try:
+            run_multi_gemm(config, SIZE, SIZE, SIZE)
+            trace = drain_point()["trace"]
+        finally:
+            deactivate()
+        document = json.loads(trace["chrome_json"])
+        rounds = [e for e in document["traceEvents"]
+                  if e.get("name") == "quantum-round"]
+        assert rounds
+        assert validate_chrome_trace(document) == []
+
+    def test_quantum_trace_hook_direct(self):
+        sim = ParallelSimulator(2, quantum=100)
+        tracer = SpanTracer()
+        sim._quantum_trace = QuantumTrace(tracer)
+        for dom in range(2):
+            sim.schedule_in(dom, 50 + dom, lambda: None)
+        sim.run()
+        spans = [e for e in tracer.chrome_events()
+                 if e.get("name") == "quantum-round"]
+        assert spans
+        assert sim.diagnostics()["sync_rounds"] >= len(spans)
+
+
+# ----------------------------------------------------------------------
+# Metrics sampler
+# ----------------------------------------------------------------------
+class _FakeObj:
+    def __init__(self, name):
+        self.stats = StatGroup(name)
+
+
+class _FakeSystem:
+    def __init__(self, objs):
+        import types
+
+        self.sim = types.SimpleNamespace(objects=objs)
+
+
+class TestMetricsSampler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MetricsSampler(every=0)
+        with pytest.raises(ValueError):
+            MetricsSampler(every=10, capacity=0)
+
+    def test_deltas_and_clean_skip(self):
+        hot, cold = _FakeObj("hot"), _FakeObj("cold")
+        counter = hot.stats.scalar("count")
+        cold.stats.scalar("idle")
+        sampler = MetricsSampler(every=10)
+        sampler.begin_run(_FakeSystem([hot, cold]))
+        # Prime both groups' caches so the clean skip is observable.
+        hot.stats.flatten()
+        cold.stats.flatten()
+        sampler.sample_now(0)
+
+        counter.inc(5)
+        deltas = sampler.sample_now(10)
+        assert deltas == {"hot.count": 5}
+        counter.inc(2)
+        assert sampler.sample_now(20) == {"hot.count": 2}
+        # A sample with nothing moved records an empty delta set.
+        assert sampler.sample_now(30) == {}
+        assert sampler.timeline("hot.count") == [(10, 5), (20, 2)]
+        assert "hot.count" in sampler.series_names()
+
+    def test_ring_buffer_bounds(self):
+        obj = _FakeObj("dev")
+        counter = obj.stats.scalar("n")
+        sampler = MetricsSampler(every=1, capacity=4)
+        sampler.begin_run(_FakeSystem([obj]))
+        for tick in range(10):
+            counter.inc()
+            sampler.sample_now(tick)
+        assert len(sampler.samples) == 4
+        assert sampler.dropped == 6
+        assert sampler.total_samples == 10
+        assert sampler.summary()["retained"] == 4
+
+    def test_arm_self_reschedules_and_stands_down(self):
+        sim = Simulator()
+        obj = _FakeObj("dev")
+        counter = obj.stats.scalar("n")
+        sampler = MetricsSampler(every=100)
+        sampler.begin_run(_FakeSystem([obj]))
+        state = {"left": 5}
+
+        def tick():
+            counter.inc()
+            state["left"] -= 1
+            if state["left"]:
+                sim.schedule(150, tick)
+
+        sim.schedule(1, tick)
+        sampler.arm(sim)
+        sim.run()  # must terminate: the sampler stands down when alone
+        assert sampler.total_samples >= 5
+        assert sum(d.get("dev.n", 0)
+                   for _t, d in sampler.samples) == 5
+
+    def test_prometheus_text(self):
+        obj = _FakeObj("dev")
+        obj.stats.scalar("n").inc(3)
+        sampler = MetricsSampler(every=1)
+        sampler.begin_run(_FakeSystem([obj]))
+        sampler.sample_now(0)
+        text = sampler.prometheus_text()
+        assert 'repro_stat{series="dev.n"} 3' in text
+        assert "repro_samples_total 1" in text
+        assert text.endswith("\n")
+
+
+# ----------------------------------------------------------------------
+# Self-profiler
+# ----------------------------------------------------------------------
+class TestSelfProfiler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelfProfiler(mode="turbo")
+        with pytest.raises(ValueError):
+            SelfProfiler(mode="sampling", sample_every=0)
+        assert SelfProfiler(mode="exact").sample_every == 1
+
+    def test_bucket_accounting(self):
+        profiler = SelfProfiler(mode="sampling", sample_every=10)
+        profiler.record("dma", 0.001)
+        profiler.record("dma", 0.002)
+        profiler.record("link", 0.004)
+        table = profiler.table()
+        assert table[0]["bucket"] == "link"  # heaviest (stride-scaled)
+        assert table[0]["seconds"] == pytest.approx(0.04)
+        assert profiler.total_seconds == pytest.approx(0.07)
+        record = profiler.to_record()
+        assert record["mode"] == "sampling"
+        assert len(record["buckets"]) == 2
+
+    def test_profiled_run_same_results(self):
+        def drive(profiler):
+            sim = Simulator()
+            if profiler is not None:
+                sim._profiler = profiler
+            state = {"fired": 0}
+
+            def fire():
+                state["fired"] += 1
+                if state["fired"] < 50:
+                    sim.schedule(7, fire, name="train")
+
+            sim.schedule(1, fire, name="train")
+            sim.run()
+            return sim.now, sim.events_executed, state["fired"]
+
+        plain = drive(None)
+        profiler = SelfProfiler(mode="exact")
+        profiled = drive(profiler)
+        assert plain == profiled  # simulated results identical
+        assert profiler.events_seen == plain[1]
+        assert "train" in profiler.buckets
+
+    def test_profiled_run_until_idle(self):
+        sim = Simulator()
+        profiler = SelfProfiler(mode="exact")
+        sim._profiler = profiler
+        state = {"left": 20}
+
+        def fire():
+            state["left"] -= 1
+            if state["left"]:
+                sim.schedule(3, fire, name="idle-train")
+
+        sim.schedule(1, fire, name="idle-train")
+        sim.run_until_idle(lambda: state["left"] <= 0)
+        assert state["left"] == 0
+        assert profiler.events_seen > 0
+
+
+# ----------------------------------------------------------------------
+# Diagnostics
+# ----------------------------------------------------------------------
+class TestDiagnostics:
+    def test_simulator_diagnostics(self):
+        sim = Simulator()
+        handle = sim.schedule(5, lambda: None)
+        handle.cancel()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        diag = sim.diagnostics()
+        assert diag["events_executed"] == 1
+        assert diag["events_skipped"] == 1
+        assert diag["freelist_high_water"] >= 0
+
+    def test_parallel_diagnostics(self):
+        sim = ParallelSimulator(2, quantum=10)
+        sim.schedule_in(0, 5, lambda: None)
+        sim.schedule_in(1, 7, lambda: None)
+        sim.run()
+        diag = sim.diagnostics()
+        assert diag["events_executed"] == 2
+        assert "sync_rounds" in diag and "cross_posts" in diag
+
+    def test_gemm_results_unchanged_by_telemetry(self, tmp_path):
+        config = SystemConfig.table2_baseline()
+        plain = run_gemm(config, SIZE, SIZE, SIZE)
+        settings = TelemetrySettings(
+            trace=True, trace_dir=str(tmp_path / "g"),
+            metrics_every=1_000_000, profile="exact", diagnostics=True,
+        )
+        activate(settings)
+        try:
+            traced = run_gemm(config, SIZE, SIZE, SIZE)
+        finally:
+            deactivate()
+        assert plain == traced

@@ -119,6 +119,72 @@ class TestReplay:
             TraceReplayer(sim, "rp", Trace(), sink, window=0)
 
 
+class TestReplayDisciplineGoldens:
+    """Pin the exact finish ticks of the two replay disciplines.
+
+    Open-loop (``timed``) must end at last-recorded-gap + sink latency;
+    closed-loop (``asap``) must end after ceil(n / window) back-to-back
+    waves.  Any drift in replay scheduling shows up as a changed tick.
+    """
+
+    def make_parts(self, mode, window=4):
+        sim = Simulator()
+        sink = FixedLatencyTarget(sim, "sink", latency=ns(100))
+        trace = Trace([
+            TraceRecord(tick=i * ns(250), cmd="read", addr=i * 4096,
+                        size=4096)
+            for i in range(12)
+        ])
+        replayer = TraceReplayer(sim, "rp", trace, sink, mode=mode,
+                                 window=window)
+        done = []
+        replayer.run(lambda t: done.append(t))
+        sim.run()
+        return done[0], replayer
+
+    def test_open_loop_golden(self):
+        finish, replayer = self.make_parts("timed")
+        # Last record issues at 11 * 250 ns, completes one latency later.
+        assert finish == 11 * ns(250) + ns(100)
+        assert replayer.stats["latency"].count == 12
+        assert replayer.stats["latency"].mean == ns(100)
+
+    def test_closed_loop_golden(self):
+        finish, replayer = self.make_parts("asap")
+        # 12 requests through a window of 4 against a pure-latency sink:
+        # three full waves, each one sink latency long, zero gaps.
+        assert finish == 3 * ns(100)
+        assert replayer.stats["latency"].count == 12
+        assert replayer.stats["latency"].mean == ns(100)
+
+    def test_disciplines_diverge_only_in_schedule(self):
+        timed_finish, timed_rp = self.make_parts("timed")
+        asap_finish, asap_rp = self.make_parts("asap")
+        assert asap_finish < timed_finish
+        # Same traffic either way: identical per-request latency stats.
+        assert (timed_rp.stats["latency"].count
+                == asap_rp.stats["latency"].count)
+        assert (timed_rp.stats["latency"].mean
+                == asap_rp.stats["latency"].mean)
+
+
+class TestNonAsciiRoundTrip:
+    def test_record_json_round_trip_non_ascii(self, tmp_path):
+        records = [
+            TraceRecord(tick=0, cmd="read", addr=0x100, size=64,
+                        source="dma-ünïté", stream="流れ-α"),
+            TraceRecord(tick=100, cmd="write", addr=0x200, size=128,
+                        source="moteur-β", stream="потік-1"),
+        ]
+        path = tmp_path / "trace-ünïcode.jsonl"
+        Trace(records).save(str(path))
+        loaded = Trace.load(str(path))
+        assert loaded.records == records
+        txn = loaded.records[0].to_transaction()
+        assert txn.source == "dma-ünïté"
+        assert txn.stream == "流れ-α"
+
+
 class TestTraceDrivenMemoryStudy:
     def test_replay_against_different_memories(self):
         """The canonical use: capture once, compare memory systems."""

@@ -3,7 +3,8 @@
 
 Measures the hot paths the sweep engine leans on -- raw event-loop
 throughput, cancellation churn, quiesce-throttled idle loops, one GEMM
-point, a stats snapshot, and a small fig6 grid -- and records them in
+point, a stats snapshot, a small fig6 grid, and the result server's
+warm-query latency and miss-coalescing factor -- and records them in
 ``BENCH_core.json`` so every PR can show its perf delta against the
 committed numbers (see docs/PERFORMANCE.md).
 
@@ -56,12 +57,20 @@ HIGHER_IS_BETTER = {
     "event_cancel_eps",
     "idle_loop_eps",
     "surrogate_grid_eps",
+    "serve_coalesce_x",
 }
 
 #: Metrics gated *absolutely* (the value is already a fraction sitting
 #: near zero, so a relative tolerance is meaningless): name -> max
 #: allowed value.  Excluded from normalization and speedup ratios.
 ABSOLUTE_GATES = {"tracer_off_overhead": 0.02}
+
+#: Metrics gated absolutely from *below*: name -> min allowed value.
+#: ``serve_coalesce_x`` is a machine-free ratio (identical concurrent
+#: cold queries per simulation actually run), so calibration
+#: normalization would corrupt it and a relative tolerance is
+#: meaningless -- anything under the floor means miss coalescing broke.
+ABSOLUTE_MIN_GATES = {"serve_coalesce_x": 6.0}
 
 
 def _best_of(fn, repeats: int = 5):
@@ -449,6 +458,92 @@ def bench_ladder_fig6(size: int) -> float:
 
 
 # ----------------------------------------------------------------------
+# Result-server benchmarks (docs/SERVING.md)
+# ----------------------------------------------------------------------
+#: Small served sweep: two 16x16 GEMM points, keyed by packet size.
+SERVE_SWEEP = "packet-size"
+SERVE_ARGS = {"size": 16, "packets": [64, 128]}
+SERVE_KEY = "64"
+
+
+def bench_serve_query_lat(quick: bool) -> float:
+    """Warm point-query p50 through the result server, microseconds.
+
+    Starts a real server on an ephemeral port against a throwaway cache
+    directory, fills one point, then times warm queries over a single
+    keep-alive connection -- the steady-state cost of serving a cached
+    record over HTTP (parse, index lookup, cache read, JSON response).
+    """
+    import http.client
+    import tempfile
+
+    from repro.serve import ServeSettings, ServerThread
+
+    rounds = 200 if quick else 600
+    body = json.dumps(
+        {"sweep": SERVE_SWEEP, "key": SERVE_KEY, "args": SERVE_ARGS}
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        settings = ServeSettings(port=0, cache_dir=tmp, batch_window=0.0)
+        with ServerThread(settings) as st:
+            conn = http.client.HTTPConnection(st.host, st.port, timeout=120)
+
+            def once() -> dict:
+                conn.request("POST", "/query", body=body)
+                response = conn.getresponse()
+                return json.loads(response.read())
+
+            assert once()["cached"] is False  # the one cold fill
+            samples = []
+            for _ in range(rounds):
+                t0 = time.perf_counter()
+                payload = once()
+                samples.append((time.perf_counter() - t0) * 1e6)
+            conn.close()
+            assert payload["cached"] is True
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def bench_serve_coalesce() -> float:
+    """Single-flight factor: identical concurrent colds per simulation.
+
+    Eight clients ask for the same uncached point at once; the ratio of
+    queries to points actually simulated (the service's fill-points
+    probe) is 8.0 when miss coalescing works and 1.0 when every client
+    pays for its own run.  Machine-free by construction, so CI gates it
+    absolutely (>= 6, see ``ABSOLUTE_MIN_GATES``).
+    """
+    import http.client
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.serve import ServeSettings, ServerThread
+
+    clients = 8
+    body = json.dumps(
+        {"sweep": SERVE_SWEEP, "key": SERVE_KEY, "args": SERVE_ARGS}
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        settings = ServeSettings(port=0, cache_dir=tmp, batch_window=0.02)
+        with ServerThread(settings) as st:
+            def one(_index: int) -> None:
+                conn = http.client.HTTPConnection(st.host, st.port,
+                                                  timeout=120)
+                conn.request("POST", "/query", body=body)
+                response = conn.getresponse()
+                assert response.status == 200, response.read()
+                response.read()
+                conn.close()
+
+            with ThreadPoolExecutor(clients) as pool:
+                list(pool.map(one, range(clients)))
+            simulated = st.service.fill_points
+    assert simulated >= 1
+    return round(clients / simulated, 2)
+
+
+# ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
 def collect_metrics(quick: bool) -> dict:
@@ -480,6 +575,8 @@ def collect_metrics(quick: bool) -> dict:
     metrics["fig6_grid_s"] = round(bench_fig6_grid(grid_size), 3)
     metrics["surrogate_grid_eps"] = round(bench_surrogate_grid(quick), 1)
     metrics["ladder_fig6_s"] = round(bench_ladder_fig6(grid_size), 3)
+    metrics["serve_query_lat_us"] = round(bench_serve_query_lat(quick), 1)
+    metrics["serve_coalesce_x"] = bench_serve_coalesce()
     return metrics
 
 
@@ -522,8 +619,8 @@ def speedups(before: dict, after: dict) -> dict:
             continue
         if name == "calib_kops" or name.startswith("_"):
             continue  # machine yardstick / bookkeeping, not tracked
-        if name in ABSOLUTE_GATES:
-            continue  # near-zero fraction; a ratio of it is noise
+        if name in ABSOLUTE_GATES or name in ABSOLUTE_MIN_GATES:
+            continue  # absolutely gated; a ratio of it is noise
         ratio = new / old if name in HIGHER_IS_BETTER else old / new
         out[name] = round(ratio, 2)
     return out
@@ -545,7 +642,7 @@ def normalized(metrics: dict) -> dict:
     for name, value in metrics.items():
         if name == "calib_kops" or name.startswith("_"):
             continue
-        if name in ABSOLUTE_GATES:
+        if name in ABSOLUTE_GATES or name in ABSOLUTE_MIN_GATES:
             continue  # already dimensionless; gated absolutely
         if not isinstance(value, (int, float)):
             continue
@@ -580,6 +677,15 @@ def check_regression(current: dict, committed: dict, tolerance: float) -> int:
         print(f"  {name:24s} {now * 100:+7.2f}% "
               f"(absolute limit {limit * 100:.0f}%)  {marker}")
         if now > limit:
+            failures.append(name)
+    for name, floor in ABSOLUTE_MIN_GATES.items():
+        now = current.get(name)
+        if not isinstance(now, (int, float)):
+            continue
+        marker = "REGRESSED" if now < floor else "ok"
+        print(f"  {name:24s} {now:8.2f}  "
+              f"(absolute floor {floor:g})  {marker}")
+        if now < floor:
             failures.append(name)
     if failures:
         print(f"perf check FAILED: {', '.join(failures)} "

@@ -11,7 +11,10 @@ Commands:
   (``sweep --faults <preset>`` overlays one onto any sweep),
 * ``telemetry`` -- summarize or export per-point telemetry artifacts
   captured with ``sweep --trace`` / ``--metrics-every``
-  (docs/OBSERVABILITY.md).
+  (docs/OBSERVABILITY.md),
+* ``serve``    -- long-running result server over the cache: warm point
+  queries in microseconds, identical cold queries coalesced into one
+  simulation, fill progress over SSE (docs/SERVING.md).
 
 Examples::
 
@@ -874,6 +877,30 @@ def cmd_telemetry(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+def cmd_serve(args) -> int:
+    """``serve``: run the result server until interrupted."""
+    import asyncio
+
+    from repro.serve import ServeSettings, serve_forever
+
+    settings = ServeSettings(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        domains=args.domains,
+        batch_window=args.batch_window,
+    )
+    try:
+        asyncio.run(serve_forever(settings, announce=True))
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
 # cache
 # ----------------------------------------------------------------------
 def cmd_cache(args) -> int:
@@ -1181,6 +1208,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="export: destination path for the Chrome "
                             "trace JSON")
     p_tel.set_defaults(func=cmd_telemetry)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve cached sweep results over HTTP; coalesce and batch "
+             "cold misses into single fill runs (docs/SERVING.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8321,
+                         help="listen port (default 8321; 0 = ephemeral)")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="process-pool width of each fill batch "
+                              "(default 1)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="result cache location, pinned at startup "
+                              "(default: $REPRO_SWEEP_CACHE_DIR or "
+                              "~/.cache/repro/sweeps)")
+    p_serve.add_argument("--domains", type=int, default=None, metavar="N",
+                         help="event domains per served point (intra-point "
+                              "PDES) unless a query's args set their own")
+    p_serve.add_argument("--batch-window", type=float, default=0.01,
+                         metavar="SECONDS",
+                         help="how long a first miss waits for concurrent "
+                              "distinct misses to share its fill run "
+                              "(default 0.01)")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or maintain the sweep result cache"

@@ -51,6 +51,7 @@ from repro.orchestrate.lease import (
 from repro.orchestrate.manifest import (
     RunManifest,
     VersionMismatchError,
+    apply_overrides,
     spec_fingerprint,
 )
 from repro.orchestrate.worker import (
@@ -71,6 +72,7 @@ __all__ = [
     "REPORT_NAME",
     "RunManifest",
     "VersionMismatchError",
+    "apply_overrides",
     "spec_fingerprint",
     "ShardLease",
     "Heartbeat",

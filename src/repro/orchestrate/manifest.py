@@ -82,7 +82,7 @@ def spec_fingerprint(spec: SweepSpec) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def _apply_overrides(name: str, overrides: dict) -> SweepSpec:
+def apply_overrides(name: str, overrides: dict) -> SweepSpec:
     """Rebuild one named sweep from JSON-safe override values.
 
     ``base`` maps a system *name* through :meth:`SystemConfig.by_name`;
@@ -92,6 +92,11 @@ def _apply_overrides(name: str, overrides: dict) -> SweepSpec:
     (:func:`repro.sweep.spec.apply_domains`), so every shard worker
     partitions each point identically and the spec fingerprint covers
     the domain count.
+
+    Public because the override vocabulary is shared wire format: run
+    manifests store it, and the result server's query protocol accepts
+    the same ``{"args": {...}}`` shape (docs/SERVING.md) -- one decoder
+    keeps the two from drifting.
     """
     kwargs = {}
     for param, value in (overrides or {}).items():
@@ -105,6 +110,10 @@ def _apply_overrides(name: str, overrides: dict) -> SweepSpec:
     if domains is not None:
         spec = apply_domains(spec, domains)
     return spec
+
+
+# Backwards-compatible alias (pre-serve internal name).
+_apply_overrides = apply_overrides
 
 
 @dataclass

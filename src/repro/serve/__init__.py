@@ -1,0 +1,42 @@
+"""Sweep-as-a-service: a long-running result server over the cache.
+
+``python -m repro serve`` turns the content-addressed result cache
+into a queryable service (docs/SERVING.md): warm point queries answer
+in microseconds straight from :class:`~repro.sweep.cache.ResultCache`,
+concurrent identical cold queries coalesce into exactly one simulation
+(:mod:`~repro.serve.singleflight`), distinct cold misses batch into
+one :func:`~repro.sweep.engine.run_points` fill run on a worker pool,
+and fill progress streams to any number of clients over SSE.  Served
+records are bit-identical to what a direct ``run_sweep`` writes -- the
+server is a read/compute front end over the same cache entries, never
+a second source of truth.
+
+Stdlib only: the HTTP layer (:mod:`~repro.serve.http`) is a small
+hand-rolled HTTP/1.1 subset on ``asyncio.start_server``.
+"""
+
+from repro.serve.http import ReproServer, ServerThread, serve_forever
+from repro.serve.service import (
+    BadRequestError,
+    FillError,
+    ServeSettings,
+    StaleCodeError,
+    SweepService,
+    UnknownPointError,
+    UnknownSweepError,
+)
+from repro.serve.singleflight import SingleFlight
+
+__all__ = [
+    "BadRequestError",
+    "FillError",
+    "ReproServer",
+    "ServeSettings",
+    "ServerThread",
+    "SingleFlight",
+    "StaleCodeError",
+    "SweepService",
+    "UnknownPointError",
+    "UnknownSweepError",
+    "serve_forever",
+]

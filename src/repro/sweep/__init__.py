@@ -24,6 +24,7 @@ from repro.sweep.cache import (
     ResultCache,
     code_version,
     default_cache_dir,
+    fresh_code_version,
     point_key,
 )
 from repro.sweep.engine import (
@@ -33,7 +34,9 @@ from repro.sweep.engine import (
     iter_sweep,
     merge_report_records,
     parse_shard,
+    point_params,
     resolve_workers,
+    run_points,
     run_sweep,
     run_sweeps,
     shard_points,
@@ -63,7 +66,9 @@ __all__ = [
     "SweepReport",
     "run_sweep",
     "run_sweeps",
+    "run_points",
     "iter_sweep",
+    "point_params",
     "apply_domains",
     "build_sweep",
     "register_sweep",
@@ -79,6 +84,7 @@ __all__ = [
     "NullCache",
     "point_key",
     "code_version",
+    "fresh_code_version",
     "default_cache_dir",
     "RUNNERS",
     "SWEEPS",

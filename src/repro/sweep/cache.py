@@ -25,6 +25,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
 import types
 from pathlib import Path
@@ -63,6 +64,20 @@ def code_version() -> str:
         digest.update(str(path.relative_to(package_root)).encode("utf-8"))
         digest.update(path.read_bytes())
     return digest.hexdigest()
+
+
+def fresh_code_version() -> str:
+    """Recompute the source digest from disk, bypassing the process memo.
+
+    :func:`code_version` is cached for the life of the process, which is
+    exactly right for batch sweeps (the code cannot change under a
+    running run) and exactly wrong for a *long-running server*: an
+    edited source tree would keep serving fills keyed on the stale
+    digest.  The result server pins :func:`code_version` at startup and
+    calls this before every fill run, refusing to simulate when the
+    tree on disk no longer matches the pin (docs/SERVING.md).
+    """
+    return code_version.__wrapped__()
 
 
 def _runner_fingerprint(runner) -> str:
@@ -204,12 +219,19 @@ class ResultCache:
     are atomic (temp file + rename), readers tolerate entries appearing
     and disappearing mid-walk, and maintenance operations never touch
     another writer's in-flight temp file.
+
+    One *instance* is also safe to share across threads: the hit/miss
+    counters are lock-protected, because ``self.hits += 1`` is a
+    read-modify-write that loses increments when the result server (or
+    any threaded caller) drives one cache from its event loop and its
+    fill workers at once.
     """
 
     def __init__(self, cache_dir: Optional[os.PathLike] = None) -> None:
         self.root = Path(cache_dir) if cache_dir else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        self._counter_lock = threading.Lock()
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -233,9 +255,11 @@ class ResultCache:
         except (OSError, json.JSONDecodeError, KeyError, TypeError):
             # Unreadable, non-JSON, or wrong-shape entries (e.g. from an
             # older format) all degrade to a re-simulation.
-            self.misses += 1
+            with self._counter_lock:
+                self.misses += 1
             return None
-        self.hits += 1
+        with self._counter_lock:
+            self.hits += 1
         return record
 
     def put(self, key: str, record: dict, meta: Optional[dict] = None) -> None:
@@ -342,9 +366,11 @@ class NullCache:
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
+        self._counter_lock = threading.Lock()
 
     def get(self, key: str) -> Optional[dict]:
-        self.misses += 1
+        with self._counter_lock:
+            self.misses += 1
         return None
 
     def put(self, key: str, record: dict, meta: Optional[dict] = None) -> None:

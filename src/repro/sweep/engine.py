@@ -164,6 +164,15 @@ class SweepReport:
         }
 
 
+#: Fields every shard report record must carry to be mergeable.  A
+#: record missing any of them is malformed (or written by an older,
+#: incompatible tree) and is refused rather than silently merged as
+#: zero -- ``misses`` in particular feeds the orchestrator's
+#: no-recompute assertion, and a defaulted 0 there produces a
+#: wrong-but-plausible fleet total.
+REQUIRED_REPORT_FIELDS = ("spec", "points", "hits", "misses")
+
+
 def merge_report_records(records: Sequence[dict]) -> dict:
     """Merge per-shard report records into one full-grid record.
 
@@ -176,9 +185,30 @@ def merge_report_records(records: Sequence[dict]) -> dict:
     merged record's ``misses`` says how many points were *actually
     simulated* across the whole run -- the orchestrator's
     no-recompute assertion reads it directly.
+
+    Shape mismatches are refused with provenance: a record missing any
+    of :data:`REQUIRED_REPORT_FIELDS` raises, naming the record's
+    position and (when present) its spec, instead of contributing
+    zeroed counters to the fleet total.
     """
     if not records:
         raise ValueError("nothing to merge: no shard report records")
+    for index, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise ValueError(
+                f"shard report #{index} is not a report record "
+                f"(got {type(record).__name__}); refusing to merge"
+            )
+        missing = [name for name in REQUIRED_REPORT_FIELDS
+                   if name not in record]
+        if missing:
+            raise ValueError(
+                f"shard report #{index} "
+                f"(spec {record.get('spec', '<unknown>')!r}) is missing "
+                f"field(s) {missing}: malformed or written by an "
+                f"incompatible tree; refusing to merge it into a "
+                f"wrong-but-plausible fleet total"
+            )
     spec_names = {record["spec"] for record in records}
     if len(spec_names) != 1:
         raise ValueError(
@@ -187,8 +217,8 @@ def merge_report_records(records: Sequence[dict]) -> dict:
     merged_points: Dict[str, dict] = {}
     hits = misses = 0
     for record in records:
-        hits += record.get("hits", 0)
-        misses += record.get("misses", 0)
+        hits += record["hits"]
+        misses += record["misses"]
         for point in record["points"]:
             prior = merged_points.get(point["key"])
             if prior is not None and prior["record"] != point["record"]:
@@ -268,12 +298,23 @@ def shard_points(
     return list(points[index - 1::total])
 
 
-def _point_params(spec: SweepSpec, point: SweepPoint) -> dict:
-    """The final runner kwargs for one point (auto-seed applied)."""
+def point_params(spec: SweepSpec, point: SweepPoint) -> dict:
+    """The final runner kwargs for one point (auto-seed applied).
+
+    Public because the cache key of a point covers these *final*
+    parameters, not the raw ``point.params``: anything that wants to
+    compute a point's key outside the engine (the result server's
+    query index, external tooling) must derive the seed exactly as the
+    engine does or silently miss the cache.
+    """
     params = dict(point.params)
     if spec.auto_seed and "seed" not in params:
         params["seed"] = derive_seed(spec.base_seed, point)
     return params
+
+
+# Backwards-compatible alias (pre-serve internal name).
+_point_params = point_params
 
 
 def _drain_telemetry(key_hash: str) -> Optional[dict]:
@@ -452,7 +493,7 @@ def _execute(
     for si, (spec, points) in enumerate(zip(specs, sharded)):
         runner = runners[si]
         for pi, point in enumerate(points):
-            params = _point_params(spec, point)
+            params = point_params(spec, point)
             key_hash = point_key(point, runner, params)
             record = store.get(key_hash)
             if record is not None:
@@ -720,3 +761,39 @@ def run_sweeps(
         )
         for spec, spec_slots in zip(specs, slots)
     ]
+
+
+def run_points(
+    jobs: Sequence[Tuple[SweepSpec, SweepPoint]],
+    workers: Optional[int] = None,
+    cache: Union[bool, ResultCache, NullCache] = True,
+    cache_dir: Optional[os.PathLike] = None,
+    on_outcome: Optional[OutcomeFn] = None,
+) -> List[SweepOutcome]:
+    """Fill an arbitrary set of ``(spec, point)`` pairs in one batch.
+
+    The result server's fill path: each pair becomes a one-point spec
+    carrying its parent's name, runner, and seeding policy -- so cache
+    keys, auto-seeds, and the ``meta.sweep`` tag are *identical* to a
+    full :func:`run_sweep` of the parent spec -- and every pending point
+    across the batch shares one worker-pool invocation.  Points with
+    identical cache keys (coalesced misses that raced past the server's
+    in-flight registry, or duplicates within the batch) simulate once.
+    Returns one outcome per job, in job order; ``on_outcome`` observes
+    each outcome as it lands, exactly as in :func:`run_sweeps`.
+    """
+    specs = [
+        SweepSpec(
+            name=spec.name,
+            points=[point],
+            runner=spec.runner,
+            base_seed=spec.base_seed,
+            auto_seed=spec.auto_seed,
+        )
+        for spec, point in jobs
+    ]
+    reports = run_sweeps(
+        specs, workers=workers, cache=cache, cache_dir=cache_dir,
+        on_outcome=on_outcome,
+    )
+    return [report.outcomes[0] for report in reports]

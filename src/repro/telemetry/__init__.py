@@ -20,7 +20,7 @@ results; the import itself is gated below 2% run-loop overhead by
 ``benchmarks/bench_perf_core.py``'s ``tracer_off_overhead`` metric.
 """
 
-from repro.telemetry.metrics import MetricsSampler
+from repro.telemetry.metrics import MetricsSampler, render_prometheus
 from repro.telemetry.profiler import SelfProfiler
 from repro.telemetry.runtime import TelemetryRuntime
 from repro.telemetry.state import (
@@ -55,5 +55,6 @@ __all__ = [
     "deactivate",
     "drain_point",
     "on_system_acquired",
+    "render_prometheus",
     "validate_chrome_trace",
 ]

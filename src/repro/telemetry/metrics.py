@@ -21,11 +21,42 @@ exactly why runner records exclude it).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.eventq import PRIORITY_LATE
 
-__all__ = ["MetricsSampler"]
+__all__ = ["MetricsSampler", "render_prometheus"]
+
+
+def _escape_label(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"')
+
+
+def render_prometheus(families: Sequence[tuple]) -> str:
+    """Prometheus text exposition for a list of metric families.
+
+    ``families`` is ``[(name, kind, help, samples), ...]`` where
+    ``samples`` is ``[(labels or None, value), ...]``.  One writer for
+    the whole tree: the sampler's per-point ``.prom`` artifacts and the
+    result server's ``/metrics`` endpoint emit through this, so both
+    stay deterministic (caller-ordered families, ``repr``-stable value
+    formatting, escaped label values) and format drift cannot split
+    them.
+    """
+    lines: List[str] = []
+    for name, kind, help_text, samples in families:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, value in samples:
+            if labels:
+                rendered = ",".join(
+                    f'{key}="{_escape_label(val)}"'
+                    for key, val in labels.items()
+                )
+                lines.append(f"{name}{{{rendered}}} {value!r}")
+            else:
+                lines.append(f"{name} {value!r}")
+    return "\n".join(lines) + "\n"
 
 
 class MetricsSampler:
@@ -154,20 +185,21 @@ class MetricsSampler:
         meta-counters.  Deterministic: series sorted, values rendered
         with ``repr``-stable formatting.
         """
-        lines = [
-            "# HELP repro_stat Simulated component statistic "
-            "(latest absolute value).",
-            "# TYPE repro_stat gauge",
-        ]
-        for name in sorted(self._latest):
-            value = self._latest[name]
-            label = name.replace("\\", "\\\\").replace('"', '\\"')
-            lines.append(f'repro_stat{{series="{label}"}} {value!r}')
-        lines.append("# HELP repro_samples_total Samples taken this run.")
-        lines.append("# TYPE repro_samples_total counter")
-        lines.append(f"repro_samples_total {self.total_samples}")
-        lines.append("# HELP repro_samples_dropped Samples evicted by the "
-                     "ring buffer.")
-        lines.append("# TYPE repro_samples_dropped counter")
-        lines.append(f"repro_samples_dropped {self.dropped}")
-        return "\n".join(lines) + "\n"
+        return render_prometheus([
+            (
+                "repro_stat", "gauge",
+                "Simulated component statistic (latest absolute value).",
+                [({"series": name}, self._latest[name])
+                 for name in sorted(self._latest)],
+            ),
+            (
+                "repro_samples_total", "counter",
+                "Samples taken this run.",
+                [(None, self.total_samples)],
+            ),
+            (
+                "repro_samples_dropped", "counter",
+                "Samples evicted by the ring buffer.",
+                [(None, self.dropped)],
+            ),
+        ])

@@ -391,6 +391,32 @@ class TestLocalOrchestration:
         with pytest.raises(ValueError, match="different sweeps"):
             merge_report_records([base, dict(base, spec="t")])
 
+    def test_merge_refuses_malformed_shard_records(self):
+        """Counter-less shard records must refuse, not merge as zero.
+
+        Regression: ``merge_report_records`` used to read hit/miss
+        counters with ``.get(..., 0)``, so a truncated or wrong-format
+        shard file silently contributed nothing and the fleet total
+        looked plausible.  Shape mismatches now name the offending
+        record and field.
+        """
+        base = {"spec": "s", "hits": 1, "misses": 2,
+                "points": [{"key": "0", "key_hash": "h", "cached": False,
+                            "record": {"v": 1}}]}
+        for field in ("spec", "points", "hits", "misses"):
+            broken = {k: v for k, v in base.items() if k != field}
+            with pytest.raises(ValueError) as err:
+                merge_report_records([base, broken])
+            message = str(err.value)
+            assert "#1" in message and field in message
+        with pytest.raises(ValueError, match="not a report record"):
+            merge_report_records([base, "oops"])
+        # Intact records still merge, counters summed exactly.
+        twin = dict(base, points=[{"key": "1", "key_hash": "h2",
+                                   "cached": True, "record": {"v": 2}}])
+        merged = merge_report_records([base, twin])
+        assert (merged["hits"], merged["misses"]) == (2, 4)
+
 
 # ----------------------------------------------------------------------
 # Crash injection: SIGKILL a worker mid-shard, resume, verify

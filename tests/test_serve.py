@@ -1,0 +1,342 @@
+"""Tests for the result server (repro.serve).
+
+Covers:
+
+* pinned identity: cache dir and code digest fixed at startup and
+  visible in /healthz; a mid-flight env change cannot move the cache,
+* warm queries answer from cache; served records are bit-identical to
+  what a direct run_sweep writes,
+* single-flight coalescing: N concurrent identical cold queries cost
+  exactly one simulation (asserted via the cache miss counter and the
+  fill-points probe),
+* distinct cold misses batch into one fill run,
+* SSE progress events, prefetch, HTTP error mapping,
+* stale-tree refusal: fills are refused once the source digest drifts
+  from the pinned one, while cached queries keep serving,
+* cache-prune hammer: concurrent prunes never corrupt in-flight fills.
+"""
+
+import json
+import threading
+import time
+import http.client
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import SystemConfig
+from repro.sweep import SWEEPS, ResultCache, register_sweep, run_sweep
+from repro.sweep.spec import SweepSpec, gemm_points
+from repro.serve import ServeSettings, ServerThread, SingleFlight
+
+SIZE = 24
+PACKETS = (64, 128, 256, 512)
+SWEEP = "serve-test"
+
+
+def _spec() -> SweepSpec:
+    base = SystemConfig.table2_baseline()
+    configs = {packet: base.with_packet_size(packet) for packet in PACKETS}
+    return SweepSpec(name=SWEEP, points=gemm_points(configs, SIZE))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _registered_sweep():
+    register_sweep(SWEEP)(_spec)
+    yield
+    SWEEPS.pop(SWEEP, None)
+
+
+@pytest.fixture
+def server(tmp_path):
+    settings = ServeSettings(port=0, cache_dir=str(tmp_path / "cache"),
+                             batch_window=0.02)
+    with ServerThread(settings) as st:
+        yield st
+
+
+def request(st, method, path, body=None, timeout=120):
+    conn = http.client.HTTPConnection(st.host, st.port, timeout=timeout)
+    try:
+        conn.request(method, path,
+                     body=json.dumps(body) if body is not None else None)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def query(st, key, sweep=SWEEP, timeout=120):
+    status, data = request(st, "POST", "/query",
+                           {"sweep": sweep, "key": key}, timeout=timeout)
+    return status, json.loads(data)
+
+
+def keys():
+    return [repr(point.key) for point in _spec().points]
+
+
+class TestPinnedIdentity:
+    def test_healthz_reports_cache_dir_and_code(self, server):
+        from repro.sweep.cache import code_version
+
+        status, data = request(server, "GET", "/healthz")
+        health = json.loads(data)
+        assert status == 200 and health["status"] == "ok"
+        assert health["cache_dir"] == server.service.cache_dir
+        assert health["code"] == code_version()
+
+    def test_env_change_after_startup_cannot_move_cache(
+        self, tmp_path, monkeypatch
+    ):
+        pinned = tmp_path / "pinned"
+        moved = tmp_path / "moved"
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(pinned))
+        with ServerThread(ServeSettings(port=0, batch_window=0.0)) as st:
+            # The dir was resolved at construction; flipping the env
+            # now must not redirect later fills.
+            monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(moved))
+            status, payload = query(st, keys()[0])
+            assert status == 200
+            assert json.loads(request(st, "GET", "/healthz")[1])[
+                "cache_dir"] == str(pinned)
+        assert len(ResultCache(pinned)) == 1
+        assert not moved.exists() or len(ResultCache(moved)) == 0
+
+
+class TestQueryPath:
+    def test_cold_then_warm_and_bit_identity(self, server, tmp_path):
+        key = keys()[0]
+        status, cold = query(server, key)
+        assert status == 200
+        assert cold["cached"] is False and cold["coalesced"] is False
+        status, warm = query(server, key)
+        assert status == 200
+        assert warm["cached"] is True
+        assert warm["record"] == cold["record"]
+        # Bit-identity against a direct engine run in a fresh cache:
+        # the server is a front end over the same records, not a
+        # second source of truth.
+        direct = run_sweep(_spec(), workers=1,
+                           cache_dir=tmp_path / "direct")
+        direct_record = direct.outcomes[0].record
+        assert cold["record"] == direct_record
+        assert (json.dumps(cold["record"], sort_keys=True)
+                == json.dumps(direct_record, sort_keys=True))
+
+    def test_get_query_string_form(self, server):
+        from urllib.parse import quote
+
+        key = keys()[0]
+        status, payload = request(
+            server, "GET",
+            f"/query?sweep={SWEEP}&key={quote(key)}")
+        assert status == 200
+        assert json.loads(payload)["key"] == key
+
+    def test_unknown_sweep_and_point_are_404(self, server):
+        status, payload = query(server, keys()[0], sweep="no-such-sweep")
+        assert status == 404 and "unknown sweep" in payload["error"]
+        status, payload = query(server, "'no-such-point'")
+        assert status == 404 and "no point keyed" in payload["error"]
+
+    def test_malformed_requests_are_400(self, server):
+        status, data = request(server, "POST", "/query", {"sweep": SWEEP})
+        assert status == 400
+        status, data = request(server, "POST", "/query",
+                               {"sweep": SWEEP, "key": keys()[0],
+                                "args": "not-a-dict"})
+        assert status == 400
+        assert b"args" in data
+
+
+class TestCoalescing:
+    def test_concurrent_identical_queries_simulate_once(self, server):
+        """Eight identical cold queries -> exactly one simulation.
+
+        Counter accounting is deterministic by construction: the
+        in-flight registry is checked before the cache, so one flight
+        costs exactly two cache misses (the leader's query-path probe
+        plus the fill engine's own lookup) however many clients wait.
+        """
+        key = keys()[1]
+        clients = 8
+        with ThreadPoolExecutor(clients) as pool:
+            results = list(pool.map(
+                lambda _: query(server, key), range(clients)))
+        assert all(status == 200 for status, _ in results)
+        records = [payload["record"] for _, payload in results]
+        assert all(record == records[0] for record in records)
+        service = server.service
+        assert service.fill_points == 1  # the fill-count probe
+        assert service.fill_runs == 1
+        assert service.cache.misses == 2
+        assert service.singleflight.coalesced == clients - 1
+        assert sum(payload["coalesced"]
+                   for _, payload in results) == clients - 1
+
+    def test_distinct_misses_share_one_fill_run(self, tmp_path):
+        settings = ServeSettings(port=0, cache_dir=str(tmp_path),
+                                 batch_window=0.3)
+        with ServerThread(settings) as st:
+            targets = keys()[:3]
+            with ThreadPoolExecutor(len(targets)) as pool:
+                results = list(pool.map(lambda k: query(st, k), targets))
+            assert all(status == 200 for status, _ in results)
+            assert st.service.fill_points == len(targets)
+            assert st.service.fill_runs == 1
+
+    def test_prefetch_then_all_warm(self, server):
+        status, data = request(server, "POST", "/sweep", {"sweep": SWEEP})
+        assert status == 200
+        disposition = json.loads(data)
+        assert disposition["enqueued"] == len(PACKETS)
+        deadline = time.time() + 120
+        while server.service.fill_points < len(PACKETS):
+            assert time.time() < deadline, "prefetch never completed"
+            time.sleep(0.02)
+        for key in keys():
+            status, payload = query(server, key)
+            assert status == 200 and payload["cached"] is True
+
+
+class TestEventsAndMetrics:
+    def test_sse_streams_fill_outcomes(self, server):
+        conn = http.client.HTTPConnection(server.host, server.port,
+                                          timeout=120)
+        conn.request("GET", "/events")
+        response = conn.getresponse()
+        assert response.status == 200
+        assert "text/event-stream" in response.getheader("Content-Type")
+        status, _ = query(server, keys()[2])
+        assert status == 200
+        events, buffer = [], b""
+        deadline = time.time() + 120
+        while time.time() < deadline:
+            chunk = response.read1(4096)
+            if chunk:
+                buffer += chunk
+            # Frames are \n\n-delimited; only parse complete ones.
+            while b"\n\n" in buffer:
+                frame, buffer = buffer.split(b"\n\n", 1)
+                for line in frame.decode().splitlines():
+                    if line.startswith("data: "):
+                        events.append(json.loads(line[len("data: "):]))
+            if any(e.get("type") == "fill-done" for e in events):
+                break
+        conn.close()
+        kinds = [event["type"] for event in events]
+        assert "fill-start" in kinds and "fill-done" in kinds
+        outcome = next(e for e in events if e["type"] == "outcome")
+        assert outcome["sweep"] == SWEEP
+        assert outcome["key"] == keys()[2]
+
+    def test_metrics_exposition(self, server):
+        query(server, keys()[0])
+        query(server, keys()[0])
+        status, data = request(server, "GET", "/metrics")
+        assert status == 200
+        text = data.decode()
+        assert "# TYPE repro_serve_queries_total counter" in text
+        assert "repro_serve_fill_points_total 1" in text
+        assert "repro_serve_query_hits_total 1" in text
+        assert text.endswith("\n")
+
+
+class TestStaleCodeRefusal:
+    def test_drifted_tree_refuses_fills_but_serves_cache(
+        self, server, monkeypatch
+    ):
+        warm_key, cold_key = keys()[0], keys()[1]
+        assert query(server, warm_key)[0] == 200  # fill while valid
+        import repro.serve.service as service_mod
+
+        monkeypatch.setattr(service_mod, "fresh_code_version",
+                            lambda: "f" * 64)
+        status, payload = query(server, cold_key)
+        assert status == 503
+        assert "pinned" in payload["error"]
+        assert server.service.fill_refused == 1
+        # Cached entries keep serving: they match the pinned tree.
+        status, payload = query(server, warm_key)
+        assert status == 200 and payload["cached"] is True
+
+
+class TestPruneHammer:
+    def test_concurrent_prune_never_breaks_in_flight_fills(self, server):
+        """`cache prune` racing the server must never 500 a query.
+
+        Fills write atomically and resolve waiters from memory, so a
+        prune that deletes an entry between fill and re-query only
+        costs a re-simulation -- it can never make an in-flight result
+        vanish for its waiters or corrupt a served record.
+        """
+        stop = threading.Event()
+        pruned = {"count": 0}
+
+        def prune_loop():
+            hammer = ResultCache(server.service.cache_dir)
+            while not stop.is_set():
+                pruned["count"] += hammer.prune(SWEEP)
+                time.sleep(0.001)
+
+        thread = threading.Thread(target=prune_loop)
+        thread.start()
+        try:
+            baseline = None
+            for _ in range(6):
+                with ThreadPoolExecutor(4) as pool:
+                    results = list(pool.map(
+                        lambda k: query(server, k), keys()[:2] * 2))
+                for status, payload in results:
+                    assert status == 200
+                    assert payload["record"]["ticks"] > 0
+                if baseline is None:
+                    baseline = {p["key"]: p["record"]
+                                for _, p in results}
+                else:
+                    for _, payload in results:
+                        assert payload["record"] == baseline[payload["key"]]
+        finally:
+            stop.set()
+            thread.join(30)
+        # The hammer actually pruned entries while queries flowed.
+        assert pruned["count"] >= 1
+
+
+class TestSingleFlightUnit:
+    def test_claim_wait_resolve(self):
+        import asyncio
+
+        async def scenario():
+            flights = SingleFlight()
+            flight, leader = flights.claim("k")
+            assert leader and len(flights) == 1
+            same, follower_leads = flights.claim("k")
+            assert same is flight and not follower_leads
+            assert flights.coalesced == 1
+
+            waiter = asyncio.ensure_future(flights.wait(flight))
+            await asyncio.sleep(0)
+            flights.resolve("k", {"v": 1})
+            assert await waiter == {"v": 1}
+            assert "k" not in flights
+
+            # A cancelled waiter must not kill the flight for others.
+            flight2, _ = flights.claim("j")
+            doomed = asyncio.ensure_future(flights.wait(flight2))
+            survivor = asyncio.ensure_future(flights.wait(flight2))
+            await asyncio.sleep(0)
+            doomed.cancel()
+            await asyncio.sleep(0)
+            flights.resolve("j", {"v": 2})
+            assert await survivor == {"v": 2}
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+
+            flight3, _ = flights.claim("x")
+            flights.fail("x", RuntimeError("boom"))
+            with pytest.raises(RuntimeError, match="boom"):
+                await flights.wait(flight3)
+
+        asyncio.run(scenario())

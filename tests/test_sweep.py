@@ -191,6 +191,37 @@ class TestCache:
         summary = ResultCache(tmp_path).summarize()
         assert summary["entries"] == 1
 
+    def test_counters_exact_under_concurrent_gets(self, tmp_path):
+        """Hit/miss counters must not lose increments across threads.
+
+        Regression: ``hits += 1`` / ``misses += 1`` are read-modify-
+        write and used to race when one ResultCache instance served
+        concurrent readers (exactly what the result server does), so
+        totals drifted low under load.  The counters are now
+        lock-protected; this hammers ``get`` from many threads and
+        demands *exact* totals.
+        """
+        import threading
+
+        cache = ResultCache(tmp_path)
+        cache.put("feed" * 16, {"ticks": 1})
+        threads, rounds = 16, 200
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait()
+            for i in range(rounds):
+                assert cache.get("feed" * 16) is not None
+                assert cache.get(f"miss{i:060d}") is None
+
+        pool = [threading.Thread(target=hammer) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert cache.hits == threads * rounds
+        assert cache.misses == threads * rounds
+
 
 class TestSpec:
     def test_duplicate_keys_rejected(self):
